@@ -1,0 +1,241 @@
+// Top-level benchmarks: one per table and figure of the paper's evaluation
+// (§5). Each benchmark regenerates its experiment through the harness in
+// internal/bench and reports the headline simulated metrics via b.ReportMetric
+// (virtual-time results are deterministic; the Go benchmark numbers measure
+// the simulator's host-side cost). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the paper's full parameters (100 MB databases, 1000 spawns, 100k pipe
+// exchanges) use: go test -bench=. -benchmem -paperscale
+package ufork_test
+
+import (
+	"flag"
+	"testing"
+
+	"ufork/internal/bench"
+	"ufork/internal/sim"
+)
+
+var paperScale = flag.Bool("paperscale", false, "run experiments at the paper's full parameters")
+
+func redisSizes() []uint64 {
+	if *paperScale {
+		return bench.RedisSizesFull
+	}
+	return bench.RedisSizesQuick
+}
+
+// BenchmarkTable1 regenerates the design-space comparison (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		if len(rows) < 10 {
+			b.Fatalf("table 1 has %d rows", len(rows))
+		}
+	}
+}
+
+// redisRows runs the Redis sweep once per benchmark invocation and caches
+// the result across the Fig. 3/4/5 benchmarks of one process.
+var redisCache []bench.RedisRow
+
+func redisRows(b *testing.B) []bench.RedisRow {
+	b.Helper()
+	if redisCache == nil {
+		rows, err := bench.RedisSweep(redisSizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		redisCache = rows
+	}
+	return redisCache
+}
+
+func maxDB(rows []bench.RedisRow) uint64 {
+	var m uint64
+	for _, r := range rows {
+		if r.DBBytes > m {
+			m = r.DBBytes
+		}
+	}
+	return m
+}
+
+func redisCell(b *testing.B, rows []bench.RedisRow, id bench.SystemID) bench.RedisRow {
+	b.Helper()
+	size := maxDB(rows)
+	for _, r := range rows {
+		if r.System == id && r.DBBytes == size {
+			return r
+		}
+	}
+	b.Fatalf("missing cell %s/%d", id, size)
+	return bench.RedisRow{}
+}
+
+// BenchmarkFig3RedisSave regenerates Figure 3 (overall save times).
+func BenchmarkFig3RedisSave(b *testing.B) {
+	var rows []bench.RedisRow
+	for i := 0; i < b.N; i++ {
+		redisCache = nil
+		rows = redisRows(b)
+	}
+	u := redisCell(b, rows, bench.SysUForkCoPA)
+	p := redisCell(b, rows, bench.SysPosix)
+	b.ReportMetric(float64(u.SaveTime)/1e6, "uFork-save-ms")
+	b.ReportMetric(float64(p.SaveTime)/1e6, "CheriBSD-save-ms")
+}
+
+// BenchmarkFig4RedisForkLatency regenerates Figure 4 (fork latency).
+func BenchmarkFig4RedisForkLatency(b *testing.B) {
+	var rows []bench.RedisRow
+	for i := 0; i < b.N; i++ {
+		rows = redisRows(b)
+	}
+	u := redisCell(b, rows, bench.SysUForkCoPA)
+	p := redisCell(b, rows, bench.SysPosix)
+	f := redisCell(b, rows, bench.SysUForkFull)
+	b.ReportMetric(float64(u.ForkLatency)/1e3, "uFork-fork-us")
+	b.ReportMetric(float64(p.ForkLatency)/1e3, "CheriBSD-fork-us")
+	b.ReportMetric(float64(f.ForkLatency)/1e3, "fullcopy-fork-us")
+}
+
+// BenchmarkFig5RedisMemory regenerates Figure 5 (forked-process memory).
+func BenchmarkFig5RedisMemory(b *testing.B) {
+	var rows []bench.RedisRow
+	for i := 0; i < b.N; i++ {
+		rows = redisRows(b)
+	}
+	u := redisCell(b, rows, bench.SysUForkCoPA)
+	c := redisCell(b, rows, bench.SysUForkCoA)
+	p := redisCell(b, rows, bench.SysPosix)
+	b.ReportMetric(float64(u.ChildMem)/(1<<20), "uFork-child-MB")
+	b.ReportMetric(float64(c.ChildMem)/(1<<20), "CoA-child-MB")
+	b.ReportMetric(float64(p.ChildMem)/(1<<20), "CheriBSD-child-MB")
+}
+
+// BenchmarkFig6FaaSThroughput regenerates Figure 6 (function throughput).
+func BenchmarkFig6FaaSThroughput(b *testing.B) {
+	window := 100 * sim.Millisecond
+	if *paperScale {
+		window = sim.Second
+	}
+	var rows []bench.FaaSRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.FaaSSweep(window)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == bench.SysUForkCoPA && r.WorkerCores == 3 {
+			b.ReportMetric(r.ThroughputPerSec, "uFork-3core-func/s")
+		}
+		if r.System == bench.SysPosix && r.WorkerCores == 3 {
+			b.ReportMetric(r.ThroughputPerSec, "CheriBSD-3core-func/s")
+		}
+	}
+}
+
+// BenchmarkFig7NginxThroughput regenerates Figure 7 (HTTP throughput).
+func BenchmarkFig7NginxThroughput(b *testing.B) {
+	window := 30 * sim.Millisecond
+	if *paperScale {
+		window = 250 * sim.Millisecond
+	}
+	var rows []bench.NginxRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.NginxSweep(window)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == bench.SysUForkCoPA && r.Workers == 3 && r.Cores == 1 {
+			b.ReportMetric(r.ThroughputPerSec, "uFork-3w-1core-req/s")
+		}
+		if r.System == bench.SysPosix && r.Workers == 3 && r.Cores == 1 {
+			b.ReportMetric(r.ThroughputPerSec, "CheriBSD-3w-1core-req/s")
+		}
+	}
+}
+
+// BenchmarkFig8HelloWorld regenerates Figure 8 (hello-world fork latency
+// and per-process memory).
+func BenchmarkFig8HelloWorld(b *testing.B) {
+	var rows []bench.HelloRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.HelloWorld()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case bench.SysUForkCoPA:
+			b.ReportMetric(float64(r.ForkLatency)/1e3, "uFork-fork-us")
+		case bench.SysPosix:
+			b.ReportMetric(float64(r.ForkLatency)/1e3, "CheriBSD-fork-us")
+		case bench.SysVMClone:
+			b.ReportMetric(float64(r.ForkLatency)/1e3, "Nephele-fork-us")
+		}
+	}
+}
+
+// BenchmarkFig9Unixbench regenerates Figure 9 (Spawn and Context1).
+func BenchmarkFig9Unixbench(b *testing.B) {
+	spawns, ctx1 := bench.SpawnItersQuick, uint64(bench.Context1TargetQuik)
+	if *paperScale {
+		spawns, ctx1 = bench.SpawnItersFull, uint64(bench.Context1TargetFull)
+	}
+	var rows []bench.UnixbenchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Unixbench(spawns, ctx1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case bench.SysUForkCoPA:
+			b.ReportMetric(float64(r.Spawn)/1e6, "uFork-spawn-ms")
+			b.ReportMetric(float64(r.Context1)/1e6, "uFork-ctx1-ms")
+		case bench.SysPosix:
+			b.ReportMetric(float64(r.Spawn)/1e6, "CheriBSD-spawn-ms")
+			b.ReportMetric(float64(r.Context1)/1e6, "CheriBSD-ctx1-ms")
+		}
+	}
+}
+
+// BenchmarkAblationCopyStrategy regenerates the §5.2 CoPA/CoA/full-copy
+// comparison at the largest database size.
+func BenchmarkAblationCopyStrategy(b *testing.B) {
+	var rows []bench.RedisRow
+	for i := 0; i < b.N; i++ {
+		rows = redisRows(b)
+	}
+	copa := redisCell(b, rows, bench.SysUForkCoPA)
+	coa := redisCell(b, rows, bench.SysUForkCoA)
+	full := redisCell(b, rows, bench.SysUForkFull)
+	b.ReportMetric(float64(full.ForkLatency)/float64(copa.ForkLatency), "full/CoPA-latency-x")
+	b.ReportMetric(float64(coa.ForkLatency)/float64(copa.ForkLatency), "CoA/CoPA-latency-x")
+	b.ReportMetric(float64(coa.ChildMem)/float64(copa.ChildMem), "CoA/CoPA-memory-x")
+}
+
+// BenchmarkAblationTocttou regenerates the §4.4 TOCTTOU cost analysis.
+func BenchmarkAblationTocttou(b *testing.B) {
+	var rows []bench.RedisRow
+	for i := 0; i < b.N; i++ {
+		rows = redisRows(b)
+	}
+	base := redisCell(b, rows, bench.SysUForkCoPA)
+	toct := redisCell(b, rows, bench.SysUForkTocttou)
+	over := 100 * (float64(toct.SaveTime)/float64(base.SaveTime) - 1)
+	b.ReportMetric(over, "tocttou-save-%")
+}

@@ -1,0 +1,99 @@
+// Command ufork-bench regenerates the paper's evaluation tables and
+// figures on the simulated systems.
+//
+// Usage:
+//
+//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver] [-full]
+//
+// Quick mode (default) uses reduced database sizes, windows and iteration
+// counts; -full runs the paper's parameters (100 MB databases, 1000
+// spawns, 100k pipe exchanges, second-long throughput windows).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ufork/internal/bench"
+	"ufork/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou)")
+	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
+	flag.Parse()
+
+	sizes := bench.RedisSizesQuick
+	faasWindow := 200 * sim.Millisecond
+	nginxWindow := 50 * sim.Millisecond
+	spawnIters := bench.SpawnItersQuick
+	ctx1 := uint64(bench.Context1TargetQuik)
+	if *full {
+		sizes = bench.RedisSizesFull
+		faasWindow = sim.Second
+		nginxWindow = 250 * sim.Millisecond
+		spawnIters = bench.SpawnItersFull
+		ctx1 = bench.Context1TargetFull
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		fmt.Println(bench.RenderTable1(bench.Table1()))
+		ran = true
+	}
+	if want("fig3") || want("fig4") || want("fig5") || want("ablation") || want("tocttou") {
+		rows, err := bench.RedisSweep(sizes)
+		die(err)
+		fmt.Println(bench.RenderRedis(rows))
+		fmt.Println(bench.RenderAblation(rows))
+		ran = true
+	}
+	if want("fig6") {
+		rows, err := bench.FaaSSweep(faasWindow)
+		die(err)
+		fmt.Println(bench.RenderFaaS(rows))
+		ran = true
+	}
+	if want("fig7") {
+		rows, err := bench.NginxSweep(nginxWindow)
+		die(err)
+		fmt.Println(bench.RenderNginx(rows))
+		ran = true
+	}
+	if want("fig8") {
+		rows, err := bench.HelloWorld()
+		die(err)
+		fmt.Println(bench.RenderHello(rows))
+		ran = true
+	}
+	if want("fig9") {
+		rows, err := bench.Unixbench(spawnIters, ctx1)
+		die(err)
+		fmt.Println(bench.RenderUnixbench(rows))
+		ran = true
+	}
+	if want("forkserver") {
+		n := 40
+		if *full {
+			n = 200
+		}
+		rows, err := bench.ForkServerSweep(n)
+		die(err)
+		fmt.Println(bench.RenderForkServer(rows))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ufork-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+// Command ufork-run executes a minipy (Python-subset) script inside a
+// μFork μprocess: the script is compiled, installed into simulated tagged
+// memory, and run on the interpreter whose every variable cell lives
+// behind CHERI capabilities. Script print() calls travel through the
+// kernel's write path to your terminal.
+//
+// Usage:
+//
+//	ufork-run script.py          # run a file
+//	echo 'print(2**10)' | ufork-run   # run stdin
+//	ufork-run -forks 3 script.py # also fork N children re-running main
+//
+// The -forks flag demonstrates the Zygote pattern: each child attaches to
+// the inherited (relocated) runtime and calls main() again.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ufork"
+	"ufork/internal/alloc"
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+)
+
+func main() {
+	forks := flag.Int("forks", 0, "fork N children that re-run main() on the warm runtime")
+	stats := flag.Bool("stats", false, "print kernel statistics after the run")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() >= 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	program, err := minipy.Compile(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := ufork.HelloWorldSpec()
+	spec.Name = "script"
+	spec.HeapPages = 2048
+	spec.AllocMetaPages = 32
+	sys := ufork.NewSystem(ufork.Options{
+		Strategy:  ufork.CoPA,
+		Isolation: ufork.IsolationFull,
+		Cores:     4,
+		Spec:      &spec,
+	})
+
+	var stdout *kernel.Console
+	if _, err := sys.Main(func(p *ufork.Proc) {
+		k := p.Kernel()
+		if of, err := p.FDs.Get(1); err == nil {
+			stdout, _ = of.File.(*kernel.Console)
+		}
+		a := alloc.Attach(p)
+		if err := a.Init(); err != nil {
+			log.Fatal(err)
+		}
+		rt, err := minipy.Install(p, a, program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rt.RunMain(); err != nil {
+			fmt.Fprintln(os.Stderr, "ufork-run:", err)
+			k.Exit(p, 1)
+		}
+		if mainIdx, ok := program.FuncIndex("main"); ok && *forks == 0 {
+			if _, err := rt.CallIndex(mainIdx); err != nil {
+				fmt.Fprintln(os.Stderr, "ufork-run:", err)
+				k.Exit(p, 1)
+			}
+		}
+		for i := 0; i < *forks; i++ {
+			_, err := k.Fork(p, func(c *ufork.Proc) {
+				ck := c.Kernel()
+				crt, err := minipy.Attach(c)
+				if err != nil {
+					ck.Exit(c, 1)
+				}
+				if idx, ok := program.FuncIndex("main"); ok {
+					if _, err := crt.CallIndex(idx); err != nil {
+						ck.Exit(c, 1)
+					}
+				}
+				ck.Exit(c, 0)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "[virtual time %v, %d syscalls, %d forks, %d page faults]\n",
+				p.Now(), k.Stats.Syscalls, k.Stats.Forks, k.Stats.PageFaults)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run()
+
+	if stdout != nil {
+		os.Stdout.Write(stdout.Out)
+	}
+}

@@ -1,0 +1,91 @@
+// Nginx-workers example: the §5.1 multi-worker use-case — a master process
+// forks long-lived workers that accept from a shared listening socket and
+// serve static files; even on a single core, extra workers overlap each
+// other's socket waits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ufork"
+	"ufork/internal/apps/httpd"
+	"ufork/internal/kernel"
+	"ufork/internal/sim"
+)
+
+func main() {
+	spec := ufork.HelloWorldSpec()
+	spec.Name = "nginx"
+	spec.HeapPages = 256
+
+	sys := ufork.NewSystem(ufork.Options{
+		Strategy:  ufork.CoPA,
+		Isolation: ufork.IsolationFault, // the Nginx trust model (§3.6)
+		Cores:     1,                    // big-kernel-lock single-core deployment (§4.5)
+		Spec:      &spec,
+	})
+	sys.K.VFS().WriteFile("/index.html", make([]byte, 16*1024))
+
+	if _, err := sys.Main(run); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run()
+}
+
+func run(p *ufork.Proc) {
+	k := p.Kernel()
+	srv, err := httpd.Start(p, 3)
+	check(err)
+	fmt.Printf("master pid=%d forked %d workers: %v\n", k.Getpid(p), len(srv.Workers), srv.Workers)
+
+	// Drive a burst of requests from client pseudo-processes (off-core:
+	// they model wrk on another machine).
+	const clients = 4
+	const perClient = 25
+	rfd, wfd, err := k.Pipe(p)
+	check(err)
+	doneEnd, err := p.FDs.Get(wfd)
+	check(err)
+	for cNum := 0; cNum < clients; cNum++ {
+		_, err := k.Spawn(clientSpec(), p.Now(), func(cp *ufork.Proc) {
+			cp.Task.Offcore = true
+			dwfd := cp.FDs.Install(doneEnd)
+			for i := 0; i < perClient; i++ {
+				if _, err := httpd.DoRequest(cp, srv.Listener, "/index.html"); err != nil {
+					break
+				}
+			}
+			_, _ = k.Write(cp, dwfd, []byte{1})
+		})
+		check(err)
+	}
+	buf := make([]byte, 1)
+	for cNum := 0; cNum < clients; cNum++ {
+		_, err := k.Read(p, rfd, buf)
+		check(err)
+	}
+	check(srv.Shutdown(p))
+
+	fmt.Printf("served %d requests total in %v of virtual time\n", srv.TotalServed(), p.Now())
+	for i, n := range srv.Served {
+		fmt.Printf("  worker %d served %d\n", i, n)
+	}
+	rate := float64(srv.TotalServed()) / (float64(p.Now()) / float64(sim.Second))
+	fmt.Printf("≈ %.0f req/s on one core with 3 workers\n", rate)
+}
+
+func clientSpec() kernel.ProgramSpec {
+	return kernel.ProgramSpec{
+		Name:      "client",
+		TextPages: 4, RodataPages: 1, GOTPages: 1, DataPages: 1,
+		AllocMetaPages: 1, HeapPages: 8, StackPages: 4, TLSPages: 1,
+		GOTEntries: 8,
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Privilege-separation example: the §2.1 pattern U3 (qmail/OpenSSH) — a
+// privileged master holds a secret and forks an unprivileged worker per
+// untrusted session. A worker driven into wild pointer dereferences by
+// hostile input crashes in its own capability-bounded region; the master
+// and its secret are untouched, and service continues.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ufork"
+	"ufork/internal/apps/privsep"
+)
+
+func main() {
+	sys := ufork.NewSystem(ufork.Options{
+		Strategy:  ufork.CoPA,
+		Isolation: ufork.IsolationFull, // adversarial trust model (§3.6)
+		Cores:     2,
+	})
+	if _, err := sys.Main(run); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run()
+}
+
+func run(p *ufork.Proc) {
+	secret := bytes.Repeat([]byte{0x42}, 32)
+	master, err := privsep.NewMaster(p, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sessions := []struct {
+		label string
+		input []byte
+	}{
+		{"valid login", secret},
+		{"wrong password", []byte("guess-123")},
+		{"hostile exploit", append([]byte("EVIL:"), 0x00, 0x00, 0x00, 0x01, 0x00, 0x00)},
+		{"valid login again", secret},
+	}
+	for _, s := range sessions {
+		res, intact, err := master.RunSession(s.input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "denied"
+		if res.Authenticated {
+			verdict = "granted"
+		}
+		if res.Compromised {
+			verdict = "worker crashed (capability fault) — contained"
+		}
+		fmt.Printf("%-18s -> %-45s secret intact: %v\n", s.label, verdict, intact)
+		if !intact {
+			log.Fatal("isolation breach!")
+		}
+	}
+	fmt.Println("the master survived every session with its secret confined to its region")
+}

@@ -1,0 +1,3 @@
+module ufork
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package faas is the serverless workload of §5.1: a MicroPython-style
+// Zygote process warms a language runtime once, then serves each request
+// by forking itself — the child executes the function and exits (§2.1
+// patterns U2 + U5).
+//
+// The coordinating thread occupies one core; forked function instances
+// execute on the remaining cores, exactly the setup of Fig. 6 ("The
+// Morello CPU has 4 cores, 1 is used for the coordinating thread, and the
+// rest for function execution").
+package faas
+
+import (
+	"fmt"
+
+	"ufork/internal/alloc"
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+	"ufork/internal/sim"
+)
+
+// FunctionSource is the FunctionBench float_operation workload ported to
+// the minipy subset: "to reduce the effect of I/O and system calls, it
+// performs a series of calculations before returning" (§5.1).
+const FunctionSource = `
+import math
+
+def float_operation(n):
+    x = 0.0
+    for i in range(n):
+        x += math.sin(i) * math.cos(i) + math.sqrt(i)
+    return x
+`
+
+// DefaultN is the loop count. Calibration (Fig. 6): with minipy's op cost
+// one function execution lands near 450 µs, which makes the per-request
+// fork-latency gap between μFork and the monolithic baseline surface as
+// the paper's ~24% throughput difference.
+const DefaultN = 1400
+
+// ZygoteSpec is the μprocess image of the warmed runtime.
+func ZygoteSpec(staticHeapPages int) kernel.ProgramSpec {
+	heap := 1536
+	if staticHeapPages > heap {
+		heap = staticHeapPages
+	}
+	return kernel.ProgramSpec{
+		Name:      "zygote",
+		TextPages: 96, RodataPages: 24, GOTPages: 4, DataPages: 16,
+		AllocMetaPages: 16, HeapPages: heap, StackPages: 16, TLSPages: 1,
+		GOTEntries: 256,
+	}
+}
+
+// Result is the outcome of one throughput run.
+type Result struct {
+	Completed int
+	Window    sim.Time
+	// ThroughputPerSec is completed functions per virtual second.
+	ThroughputPerSec float64
+	// ForkLatency is the last observed fork latency.
+	ForkLatency sim.Time
+}
+
+// Warm compiles and installs the function runtime into proc p — the
+// Zygote warm-up that fork then amortizes over every request.
+func Warm(p *kernel.Proc) (*minipy.Program, *minipy.Runtime, error) {
+	pr, err := minipy.Compile(FunctionSource)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := alloc.Attach(p)
+	if err := a.Init(); err != nil {
+		return nil, nil, err
+	}
+	rt, err := minipy.Install(p, a, pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := rt.RunMain(); err != nil {
+		return nil, nil, err
+	}
+	return pr, rt, nil
+}
+
+// RunThroughput forks function instances as fast as possible for the given
+// virtual-time window, keeping at most workers children in flight. It must
+// be called from the warmed zygote process.
+func RunThroughput(p *kernel.Proc, pr *minipy.Program, workers int, n int, window sim.Time) (Result, error) {
+	k := p.Kernel()
+	fnIdx, ok := pr.FuncIndex("float_operation")
+	if !ok {
+		return Result{}, fmt.Errorf("faas: float_operation missing")
+	}
+	deadline := p.Now() + window
+	completed := 0
+	inflight := 0
+	var lastFork sim.Time
+	for p.Now() < deadline {
+		if inflight >= workers {
+			if _, status, err := k.Wait(p); err != nil {
+				return Result{}, err
+			} else if status == 0 {
+				completed++
+			}
+			inflight--
+			continue
+		}
+		_, err := k.Fork(p, func(c *kernel.Proc) {
+			crt, err := minipy.Attach(c)
+			if err != nil {
+				k.Exit(c, 1)
+			}
+			if _, err := crt.CallIndex(fnIdx, float64(n)); err != nil {
+				k.Exit(c, 1)
+			}
+			k.Exit(c, 0)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		lastFork = p.LastFork.Latency
+		inflight++
+	}
+	// Drain.
+	for inflight > 0 {
+		if _, status, err := k.Wait(p); err != nil {
+			return Result{}, err
+		} else if status == 0 {
+			completed++
+		}
+		inflight--
+	}
+	res := Result{
+		Completed:   completed,
+		Window:      window,
+		ForkLatency: lastFork,
+	}
+	res.ThroughputPerSec = float64(completed) / (float64(window) / float64(sim.Second))
+	return res, nil
+}

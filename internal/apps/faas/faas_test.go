@@ -1,0 +1,142 @@
+package faas_test
+
+import (
+	"testing"
+
+	"ufork/internal/apps/faas"
+	"ufork/internal/baseline/posix"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+	"ufork/internal/sim"
+)
+
+func TestWarmAndRunOnce(t *testing.T) {
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(core.CopyOnPointerAccess),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 16,
+	})
+	if _, err := k.Spawn(faas.ZygoteSpec(0), 0, func(p *kernel.Proc) {
+		pr, rt, err := faas.Warm(p)
+		if err != nil {
+			t.Errorf("warm: %v", err)
+			return
+		}
+		// The zygote itself can run the function.
+		v, err := rt.Call(pr, "float_operation", 10)
+		if err != nil {
+			t.Errorf("direct call: %v", err)
+			return
+		}
+		if v == 0 {
+			t.Error("float_operation(10) returned 0")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestThroughputWindow(t *testing.T) {
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(3), // coordinator + 2 workers
+		Engine:    core.New(core.CopyOnPointerAccess),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 17,
+	})
+	var res faas.Result
+	if _, err := k.Spawn(faas.ZygoteSpec(0), 0, func(p *kernel.Proc) {
+		pr, _, err := faas.Warm(p)
+		if err != nil {
+			t.Errorf("warm: %v", err)
+			return
+		}
+		res, err = faas.RunThroughput(p, pr, 2, 200, 20*sim.Millisecond)
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if res.Completed < 2 {
+		t.Fatalf("completed %d functions in window", res.Completed)
+	}
+	if res.ThroughputPerSec <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.ForkLatency == 0 {
+		t.Fatal("no fork latency recorded")
+	}
+}
+
+// TestMoreWorkersMoreThroughput: with more function-execution cores, the
+// same window completes more functions (the Fig. 6 scaling property).
+func TestMoreWorkersMoreThroughput(t *testing.T) {
+	runWith := func(workers int) int {
+		k := kernel.New(kernel.Config{
+			Machine:   model.UFork(workers + 1),
+			Engine:    core.New(core.CopyOnPointerAccess),
+			Isolation: kernel.IsolationFull,
+			Frames:    1 << 17,
+		})
+		var res faas.Result
+		if _, err := k.Spawn(faas.ZygoteSpec(0), 0, func(p *kernel.Proc) {
+			pr, _, err := faas.Warm(p)
+			if err != nil {
+				t.Errorf("warm: %v", err)
+				return
+			}
+			res, err = faas.RunThroughput(p, pr, workers, 400, 30*sim.Millisecond)
+			if err != nil {
+				t.Errorf("run: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return res.Completed
+	}
+	one := runWith(1)
+	three := runWith(3)
+	if three <= one {
+		t.Fatalf("3 workers (%d) should beat 1 worker (%d)", three, one)
+	}
+}
+
+// TestUForkBeatsPosixThroughput: the fork-bound FaaS workload favours the
+// lower μFork fork latency (the paper's 24% result; here we assert the
+// direction).
+func TestUForkBeatsPosixThroughput(t *testing.T) {
+	run := func(m *model.Machine, eng kernel.ForkEngine) int {
+		k := kernel.New(kernel.Config{
+			Machine:   m,
+			Engine:    eng,
+			Isolation: kernel.IsolationFull,
+			Frames:    1 << 17,
+		})
+		var res faas.Result
+		if _, err := k.Spawn(faas.ZygoteSpec(0), 0, func(p *kernel.Proc) {
+			pr, _, err := faas.Warm(p)
+			if err != nil {
+				t.Errorf("warm: %v", err)
+				return
+			}
+			res, err = faas.RunThroughput(p, pr, 2, 400, 30*sim.Millisecond)
+			if err != nil {
+				t.Errorf("run: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return res.Completed
+	}
+	ufork := run(model.UFork(3), core.New(core.CopyOnPointerAccess))
+	cheri := run(model.Posix(3), posix.New())
+	if ufork <= cheri {
+		t.Fatalf("μFork throughput (%d) should exceed CheriBSD (%d)", ufork, cheri)
+	}
+}

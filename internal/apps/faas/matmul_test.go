@@ -1,0 +1,128 @@
+package faas_test
+
+import (
+	"testing"
+
+	"ufork/internal/alloc"
+	"ufork/internal/apps/faas"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+	"ufork/internal/model"
+)
+
+// matmulSource is FunctionBench's matmul workload ported to the subset:
+// unlike float_operation it is object-heavy — the matrices are lists of
+// lists living in simulated memory, so forked instances exercise
+// relocation over real object graphs.
+const matmulSource = `
+def make_matrix(n, seed):
+    m = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            row.append((i * 31 + j * 17 + seed) % 10)
+        m.append(row)
+    return m
+
+def matmul(n):
+    a = make_matrix(n, 1)
+    b = make_matrix(n, 2)
+    total = 0
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc += a[i][k] * b[k][j]
+            total += acc
+    return total
+`
+
+// hostMatmul mirrors the computation for verification.
+func hostMatmul(n int) float64 {
+	mk := func(seed int) [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = float64((i*31 + j*17 + seed) % 10)
+			}
+		}
+		return m
+	}
+	a, b := mk(1), mk(2)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc += a[i][k] * b[k][j]
+			}
+			total += acc
+		}
+	}
+	return total
+}
+
+// TestMatmulInForkedInstances runs the object-heavy FaaS function in
+// forked children off a warm zygote and verifies the results.
+func TestMatmulInForkedInstances(t *testing.T) {
+	pr, err := minipy.Compile(matmulSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(3),
+		Engine:    core.New(core.CopyOnPointerAccess),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 16,
+	})
+	const n = 8
+	want := hostMatmul(n)
+	if _, err := k.Spawn(faas.ZygoteSpec(0), 0, func(p *kernel.Proc) {
+		a := alloc.Attach(p)
+		if err := a.Init(); err != nil {
+			t.Error(err)
+			return
+		}
+		rt, err := minipy.Install(p, a, pr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := rt.RunMain(); err != nil {
+			t.Error(err)
+			return
+		}
+		// Warm check in the zygote itself.
+		if got, err := rt.Call(pr, "matmul", n); err != nil || got != want {
+			t.Errorf("zygote matmul = %v, %v (want %v)", got, err, want)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := k.Fork(p, func(c *kernel.Proc) {
+				crt, err := minipy.Attach(c)
+				if err != nil {
+					t.Errorf("child attach: %v", err)
+					return
+				}
+				got, err := crt.Call(pr, "matmul", n)
+				if err != nil {
+					t.Errorf("child matmul: %v", err)
+					return
+				}
+				if got != want {
+					t.Errorf("child matmul = %v, want %v", got, want)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}

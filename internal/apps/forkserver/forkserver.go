@@ -1,0 +1,236 @@
+// Package forkserver implements the fuzzing use of fork (§2.1 pattern U5:
+// "Testing frameworks such as fuzzers use fork to avoid the cost of setup
+// for each exploration"): an AFL-style fork server.
+//
+// The target program performs its expensive setup once (loading
+// dictionaries, building lookup structures in μprocess memory); then every
+// test case is executed in a forked child, so crashes — wild capability
+// dereferences included — are contained and the warm setup is never paid
+// again. The package also provides the re-exec baseline (full setup per
+// input) the fork server is measured against.
+package forkserver
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ufork/internal/alloc"
+	"ufork/internal/cap"
+	"ufork/internal/kernel"
+	"ufork/internal/sim"
+)
+
+// setupCost is the target's one-time initialisation CPU time (parsing
+// config, building tables) — the cost the fork server amortises.
+const setupCost = 2 * sim.Millisecond
+
+// tlsRootOff is the TLS slot of the target's state (slot 2; 0 and 1 are
+// taken by minipy and kvstore so the substrates can coexist).
+const tlsRootOff = 2 * cap.GranuleSize
+
+// Target is the program under test: a parser with a deliberately planted
+// bug, plus a lookup table built during setup.
+type Target struct {
+	p *kernel.Proc
+	a *alloc.Allocator
+}
+
+// Verdict classifies one execution.
+type Verdict int
+
+// Execution outcomes.
+const (
+	// VerdictOK: the input parsed cleanly.
+	VerdictOK Verdict = iota
+	// VerdictReject: the input was rejected by validation.
+	VerdictReject
+	// VerdictCrash: the input drove the target into a memory-safety
+	// violation (caught by the capability system).
+	VerdictCrash
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictReject:
+		return "reject"
+	case VerdictCrash:
+		return "crash"
+	default:
+		return "unknown"
+	}
+}
+
+// Setup performs the expensive one-time initialisation: a 64 KiB lookup
+// table in μprocess memory, referenced from TLS.
+func Setup(p *kernel.Proc, a *alloc.Allocator) (*Target, error) {
+	table, err := a.Alloc(64 * 1024)
+	if err != nil {
+		return nil, err
+	}
+	// Build the table (charged as CPU).
+	chunk := make([]byte, 4096)
+	for off := uint64(0); off < 64*1024; off += 4096 {
+		for i := range chunk {
+			chunk[i] = byte(int(off) + i*7)
+		}
+		if err := p.Store(table, off, chunk); err != nil {
+			return nil, err
+		}
+	}
+	p.Compute(setupCost)
+	if err := p.StoreCap(p.TLSCap, tlsRootOff, table); err != nil {
+		return nil, err
+	}
+	return &Target{p: p, a: alloc.Attach(p)}, nil
+}
+
+// Attach binds to the (relocated) target state in a forked child.
+func Attach(p *kernel.Proc) (*Target, error) {
+	table, err := p.LoadCap(p.TLSCap, tlsRootOff)
+	if err != nil {
+		return nil, err
+	}
+	if !table.Tag() {
+		return nil, fmt.Errorf("forkserver: target not set up")
+	}
+	return &Target{p: p, a: alloc.Attach(p)}, nil
+}
+
+// Execute parses one input. The planted bug: an input starting with
+// "BUG!" makes the parser compute an out-of-table offset from attacker
+// bytes and dereference it — the capability system turns that into a
+// contained crash.
+func (tg *Target) Execute(input []byte) (Verdict, error) {
+	p := tg.p
+	table, err := p.LoadCap(p.TLSCap, tlsRootOff)
+	if err != nil {
+		return VerdictCrash, err
+	}
+	if len(input) == 0 {
+		return VerdictReject, nil
+	}
+	// Per-input work: hash the input against the table.
+	p.Compute(sim.Time(len(input)) * 20)
+	var acc byte
+	buf := make([]byte, 1)
+	for i, b := range input {
+		off := (uint64(b) * 251) % table.Len()
+		if len(input) >= 4 && string(input[:4]) == "BUG!" && i >= 4 {
+			// The bug: offset escapes the table. The dereference faults on
+			// the capability bounds check.
+			off = table.Len() + uint64(binary.LittleEndian.Uint16([]byte{b, b}))
+		}
+		if err := p.Load(table, off, buf); err != nil {
+			return VerdictCrash, nil // contained by CHERI bounds
+		}
+		acc ^= buf[0]
+	}
+	if acc%7 == 0 {
+		return VerdictReject, nil
+	}
+	return VerdictOK, nil
+}
+
+// Result aggregates a fuzzing campaign.
+type Result struct {
+	Executions int
+	Crashes    int
+	Rejects    int
+	Elapsed    sim.Time
+	PerExec    sim.Time
+}
+
+// RunForkServer executes the inputs AFL-style: one warm setup, one fork
+// per input, verdicts collected through exit statuses.
+func RunForkServer(p *kernel.Proc, inputs [][]byte) (Result, error) {
+	k := p.Kernel()
+	a := alloc.Attach(p)
+	if err := a.Init(); err != nil {
+		return Result{}, err
+	}
+	if _, err := Setup(p, a); err != nil {
+		return Result{}, err
+	}
+	start := p.Now()
+	res := Result{}
+	for _, input := range inputs {
+		in := input
+		_, err := k.Fork(p, func(c *kernel.Proc) {
+			tg, err := Attach(c)
+			if err != nil {
+				k.Exit(c, 99)
+			}
+			v, err := tg.Execute(in)
+			if err != nil {
+				k.Exit(c, 99)
+			}
+			k.Exit(c, int(v))
+		})
+		if err != nil {
+			return res, err
+		}
+		_, status, err := k.Wait(p)
+		if err != nil {
+			return res, err
+		}
+		res.Executions++
+		switch Verdict(status) {
+		case VerdictCrash:
+			res.Crashes++
+		case VerdictReject:
+			res.Rejects++
+		}
+	}
+	res.Elapsed = p.Now() - start
+	if res.Executions > 0 {
+		res.PerExec = res.Elapsed / sim.Time(res.Executions)
+	}
+	return res, nil
+}
+
+// RunReExec is the baseline without a fork server: every input pays the
+// full setup in a freshly spawned target (fork+exec style).
+func RunReExec(p *kernel.Proc, inputs [][]byte) (Result, error) {
+	k := p.Kernel()
+	start := p.Now()
+	res := Result{}
+	for _, input := range inputs {
+		in := input
+		_, err := k.PosixSpawn(p, p.Spec, func(c *kernel.Proc) {
+			ca := alloc.Attach(c)
+			if err := ca.Init(); err != nil {
+				k.Exit(c, 99)
+			}
+			tg, err := Setup(c, ca)
+			if err != nil {
+				k.Exit(c, 99)
+			}
+			v, err := tg.Execute(in)
+			if err != nil {
+				k.Exit(c, 99)
+			}
+			k.Exit(c, int(v))
+		})
+		if err != nil {
+			return res, err
+		}
+		_, status, err := k.Wait(p)
+		if err != nil {
+			return res, err
+		}
+		res.Executions++
+		switch Verdict(status) {
+		case VerdictCrash:
+			res.Crashes++
+		case VerdictReject:
+			res.Rejects++
+		}
+	}
+	res.Elapsed = p.Now() - start
+	if res.Executions > 0 {
+		res.PerExec = res.Elapsed / sim.Time(res.Executions)
+	}
+	return res, nil
+}

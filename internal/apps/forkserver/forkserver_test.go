@@ -1,0 +1,136 @@
+package forkserver_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ufork/internal/apps/forkserver"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+	"ufork/internal/sim"
+)
+
+func fuzzSpec() kernel.ProgramSpec {
+	s := kernel.HelloWorldSpec()
+	s.Name = "fuzz-target"
+	s.HeapPages = 128
+	return s
+}
+
+func newKernel() *kernel.Kernel {
+	return kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(core.CopyOnPointerAccess),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 15,
+	})
+}
+
+func inputs(n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			out = append(out, []byte(fmt.Sprintf("BUG!%04d", i)))
+		} else {
+			out = append(out, []byte(fmt.Sprintf("case-%04d", i)))
+		}
+	}
+	return out
+}
+
+func TestForkServerFindsCrashes(t *testing.T) {
+	k := newKernel()
+	var res forkserver.Result
+	if _, err := k.Spawn(fuzzSpec(), 0, func(p *kernel.Proc) {
+		var err error
+		res, err = forkserver.RunForkServer(p, inputs(25))
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if res.Executions != 25 {
+		t.Fatalf("executions = %d", res.Executions)
+	}
+	if res.Crashes != 5 {
+		t.Fatalf("crashes = %d, want the 5 planted bugs", res.Crashes)
+	}
+}
+
+// TestCrashContainment: a crashing test case must not damage the fork
+// server — subsequent executions still work and the parent's table is
+// intact.
+func TestCrashContainment(t *testing.T) {
+	k := newKernel()
+	if _, err := k.Spawn(fuzzSpec(), 0, func(p *kernel.Proc) {
+		res, err := forkserver.RunForkServer(p, [][]byte{
+			[]byte("good-input-1"),
+			[]byte("BUG!kaboom"),
+			[]byte("good-input-2"),
+		})
+		if err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		if res.Crashes != 1 {
+			t.Errorf("crashes = %d", res.Crashes)
+		}
+		if res.Executions != 3 {
+			t.Errorf("executions = %d: campaign must survive the crash", res.Executions)
+		}
+		// The parent's own state still works post-crash.
+		tg, err := forkserver.Attach(p)
+		if err != nil {
+			t.Errorf("parent attach after crash: %v", err)
+			return
+		}
+		if v, err := tg.Execute([]byte("post-crash")); err != nil || v == forkserver.VerdictCrash {
+			t.Errorf("parent state damaged: %v %v", v, err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+// TestForkServerBeatsReExec: the point of pattern U5 — amortizing setup
+// through fork is far faster than re-spawning with full setup per input.
+func TestForkServerBeatsReExec(t *testing.T) {
+	var forkPer, execPer sim.Time
+	k := newKernel()
+	if _, err := k.Spawn(fuzzSpec(), 0, func(p *kernel.Proc) {
+		res, err := forkserver.RunForkServer(p, inputs(15))
+		if err != nil {
+			t.Errorf("fork server: %v", err)
+			return
+		}
+		forkPer = res.PerExec
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	k2 := newKernel()
+	if _, err := k2.Spawn(fuzzSpec(), 0, func(p *kernel.Proc) {
+		res, err := forkserver.RunReExec(p, inputs(15))
+		if err != nil {
+			t.Errorf("re-exec: %v", err)
+			return
+		}
+		execPer = res.PerExec
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run()
+
+	if forkPer >= execPer {
+		t.Fatalf("fork server per-exec %v not faster than re-exec %v", forkPer, execPer)
+	}
+	ratio := float64(execPer) / float64(forkPer)
+	if ratio < 3 {
+		t.Fatalf("fork server speedup %.1fx too small (setup is 2 ms)", ratio)
+	}
+}

@@ -1,0 +1,216 @@
+// Package httpd is the Nginx-stand-in workload: a master process forks
+// long-lived worker processes that accept connections from a shared
+// listening socket and serve static files from the ram-disk (§2.1 pattern
+// U2, evaluated in §5.1 "Nginx multi-worker deployments").
+//
+// Workers block in accept and in socket reads, yielding the CPU — which is
+// why even on a single core more workers raise throughput (the paper's
+// 15.6% observation): one worker's I/O wait overlaps another's parsing.
+// Every server-side operation goes through the kernel syscall layer, so
+// the trap-vs-sealed-capability entry cost separates the systems (§4.4).
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"ufork/internal/kernel"
+	"ufork/internal/sim"
+)
+
+// parseCost is the CPU time a worker spends parsing a request and building
+// response headers (calibrated so single-core request service is dominated
+// by CPU with small I/O gaps, Fig. 7).
+const parseCost = 18 * sim.Microsecond
+
+// Server is the master process state.
+type Server struct {
+	Listener *kernel.Listener
+	ListenFD int
+	// Workers holds the PIDs of forked workers.
+	Workers []kernel.PID
+	// Served counts responses per worker index (written by workers; safe
+	// because the simulation serializes task execution).
+	Served []int
+}
+
+// Start forks n workers off the master process. Each worker loops
+// accepting and serving until the listener shuts down. Workers inherit
+// the listening descriptor through fork, as Nginx workers do.
+func Start(p *kernel.Proc, n int) (*Server, error) {
+	k := p.Kernel()
+	lfd, l := k.Listen(p)
+	s := &Server{Listener: l, ListenFD: lfd, Served: make([]int, n)}
+	for i := 0; i < n; i++ {
+		idx := i
+		pid, err := k.Fork(p, func(w *kernel.Proc) {
+			s.Served[idx] = workerLoop(w, lfd)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Workers = append(s.Workers, pid)
+	}
+	return s, nil
+}
+
+// workerLoop accepts and serves connections until the listener closes.
+// Returns the number of requests served.
+func workerLoop(w *kernel.Proc, lfd int) int {
+	k := w.Kernel()
+	served := 0
+	for {
+		cfd, err := k.Accept(w, lfd)
+		if err != nil {
+			return served // listener shut down
+		}
+		if err := serveConn(w, cfd); err == nil {
+			served++
+		}
+		_ = k.Close(w, cfd)
+	}
+}
+
+// serveConn reads one request from the connection descriptor, resolves
+// the path and writes the response.
+func serveConn(w *kernel.Proc, cfd int) error {
+	k := w.Kernel()
+	buf := make([]byte, 1024)
+	n, err := k.Read(w, cfd, buf)
+	if err != nil || n == 0 {
+		return fmt.Errorf("httpd: empty request")
+	}
+	w.Compute(parseCost)
+	path, ok := parseRequest(string(buf[:n]))
+	if !ok {
+		_, err = k.Write(w, cfd, []byte("HTTP/1.0 400 Bad Request\r\n\r\n"))
+		return err
+	}
+	ffd, err := k.Open(w, path, false)
+	if err != nil {
+		_, err = k.Write(w, cfd, []byte("HTTP/1.0 404 Not Found\r\n\r\n"))
+		return err
+	}
+	defer func() { _ = k.Close(w, ffd) }()
+	// Read the file through the ram-disk path, then stream it out.
+	var body []byte
+	chunk := make([]byte, 16*1024)
+	for {
+		rn, err := k.Read(w, ffd, chunk)
+		if err != nil {
+			return err
+		}
+		if rn == 0 {
+			break
+		}
+		body = append(body, chunk[:rn]...)
+	}
+	head := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))
+	if _, err := k.Write(w, cfd, []byte(head)); err != nil {
+		return err
+	}
+	_, err = k.Write(w, cfd, body)
+	return err
+}
+
+// parseRequest extracts the path from "GET /path HTTP/1.x".
+func parseRequest(req string) (string, bool) {
+	line, _, _ := strings.Cut(req, "\r\n")
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || parts[0] != "GET" || !strings.HasPrefix(parts[2], "HTTP/") {
+		return "", false
+	}
+	if !strings.HasPrefix(parts[1], "/") {
+		return "", false
+	}
+	return parts[1], true
+}
+
+// Shutdown closes the listener and reaps all workers.
+func (s *Server) Shutdown(p *kernel.Proc) error {
+	k := p.Kernel()
+	s.Listener.Shutdown(p)
+	for range s.Workers {
+		if _, _, err := k.Wait(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalServed sums per-worker counts.
+func (s *Server) TotalServed() int {
+	total := 0
+	for _, n := range s.Served {
+		total += n
+	}
+	return total
+}
+
+// ClientResult is what one driver request observed.
+type ClientResult struct {
+	Status string
+	Body   []byte
+}
+
+// DoRequest runs one synchronous client request from the driver process
+// against the listener. The driver stands in for the external wrk client:
+// its socket operations bypass the server kernel's syscall layer and book
+// no server CPU.
+func DoRequest(p *kernel.Proc, l *kernel.Listener, path string) (ClientResult, error) {
+	k := p.Kernel()
+	conn := l.Connect(p)
+	defer func() { _ = conn.CloseClient(k, p) }()
+	// Network latency before the request bytes reach the server: an
+	// accepted connection is briefly unreadable, the I/O gap that lets
+	// extra workers help even on one core (Fig. 7).
+	p.Task.Advance(k.Machine.NetRTT)
+	req := fmt.Sprintf("GET %s HTTP/1.0\r\n\r\n", path)
+	if _, err := conn.Send(k, p, []byte(req)); err != nil {
+		return ClientResult{}, err
+	}
+	var resp []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Recv(k, p, buf)
+		if err != nil {
+			return ClientResult{}, err
+		}
+		if n == 0 {
+			break
+		}
+		resp = append(resp, buf[:n]...)
+		if done, _ := responseComplete(resp); done {
+			break
+		}
+	}
+	status, body := splitResponse(resp)
+	return ClientResult{Status: status, Body: body}, nil
+}
+
+// responseComplete checks Content-Length against the received body.
+func responseComplete(resp []byte) (bool, int) {
+	s := string(resp)
+	headEnd := strings.Index(s, "\r\n\r\n")
+	if headEnd < 0 {
+		return false, 0
+	}
+	bodyLen := len(s) - headEnd - 4
+	want := 0
+	for _, line := range strings.Split(s[:headEnd], "\r\n") {
+		if n, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+			fmt.Sscanf(n, "%d", &want)
+		}
+	}
+	return bodyLen >= want, want
+}
+
+func splitResponse(resp []byte) (status string, body []byte) {
+	s := string(resp)
+	line, _, _ := strings.Cut(s, "\r\n")
+	headEnd := strings.Index(s, "\r\n\r\n")
+	if headEnd >= 0 {
+		body = resp[headEnd+4:]
+	}
+	return line, body
+}

@@ -1,0 +1,162 @@
+// Package privsep implements the privilege-separation use of fork (§2.1
+// pattern U3: "Privilege-separated software such as OpenSSH and qmail
+// leverage fork to isolate trusted and untrusted application parts").
+//
+// A privileged master holds a secret (a signing key) and forks an
+// unprivileged worker per session. The worker parses untrusted network
+// input and asks the master — over a pipe, the only channel it has — to
+// authenticate. Compromising the worker (here: feeding it input that
+// makes it chase wild pointers) must not expose the master's secret:
+// that is exactly the isolation μFork's capability regions enforce
+// (§3.6, the "full isolation" point of the design space).
+package privsep
+
+import (
+	"bytes"
+	"fmt"
+
+	"ufork/internal/kernel"
+)
+
+// secretLen is the master's key size.
+const secretLen = 32
+
+// Master runs the privileged side: it forks one worker per session and
+// answers authentication requests over a pipe protocol:
+//
+//	worker → master:  [n u8][password bytes]
+//	master → worker:  [1] granted / [0] denied
+type Master struct {
+	p      *kernel.Proc
+	secret []byte
+}
+
+// NewMaster creates the privileged process state, stashing the secret in
+// master memory.
+func NewMaster(p *kernel.Proc, secret []byte) (*Master, error) {
+	if len(secret) != secretLen {
+		return nil, fmt.Errorf("privsep: secret must be %d bytes", secretLen)
+	}
+	// The secret lives in the master's μprocess memory.
+	if err := p.Store(p.HeapCap, 0, secret); err != nil {
+		return nil, err
+	}
+	return &Master{p: p, secret: append([]byte(nil), secret...)}, nil
+}
+
+// SessionResult is a worker's outcome.
+type SessionResult struct {
+	Authenticated bool
+	Compromised   bool // the worker hit a capability fault on hostile input
+}
+
+// RunSession forks an unprivileged worker to handle one untrusted input.
+// It returns the worker's result and whether the master's secret is
+// still intact afterwards.
+func (m *Master) RunSession(input []byte) (SessionResult, bool, error) {
+	k := m.p.Kernel()
+	reqR, reqW, err := k.Pipe(m.p)
+	if err != nil {
+		return SessionResult{}, false, err
+	}
+	respR, respW, err := k.Pipe(m.p)
+	if err != nil {
+		return SessionResult{}, false, err
+	}
+
+	_, err = k.Fork(m.p, func(w *kernel.Proc) {
+		status := workerMain(w, input, reqW, respR)
+		k.Exit(w, status)
+	})
+	if err != nil {
+		return SessionResult{}, false, err
+	}
+	// Drop the worker-side ends so a dead worker yields EOF, not a hang.
+	if err := k.Close(m.p, reqW); err != nil {
+		return SessionResult{}, false, err
+	}
+	if err := k.Close(m.p, respR); err != nil {
+		return SessionResult{}, false, err
+	}
+
+	// Master side: answer exactly one auth request, then close.
+	var res SessionResult
+	hdr := make([]byte, 1)
+	if n, err := k.Read(m.p, reqR, hdr); err == nil && n == 1 {
+		pw := make([]byte, int(hdr[0]))
+		if _, err := k.Read(m.p, reqR, pw); err == nil {
+			granted := byte(0)
+			if bytes.Equal(pw, m.secret) {
+				granted = 1
+			}
+			if _, err := k.Write(m.p, respW, []byte{granted}); err != nil {
+				return res, false, err
+			}
+		}
+	}
+	_ = k.Close(m.p, respW)
+	_ = k.Close(m.p, reqR)
+
+	_, status, err := k.Wait(m.p)
+	if err != nil {
+		return res, false, err
+	}
+	switch status {
+	case 0:
+		res.Authenticated = true
+	case 1:
+		// denied
+	case 2:
+		res.Compromised = true
+	}
+
+	// Audit: is the secret still exactly where the master put it, and is
+	// it still secret (the worker could not have read it — checked by the
+	// worker itself via capability faults)?
+	got := make([]byte, secretLen)
+	if err := m.p.Load(m.p.HeapCap, 0, got); err != nil {
+		return res, false, err
+	}
+	return res, bytes.Equal(got, m.secret), nil
+}
+
+// workerMain is the unprivileged side: parse the untrusted input, then
+// request authentication through the pipe. Hostile inputs drive it into
+// wild dereferences — contained by its region-bounded capabilities.
+// Returns 0 = authenticated, 1 = denied, 2 = memory-safety violation.
+func workerMain(w *kernel.Proc, input []byte, reqW, respR int) int {
+	k := w.Kernel()
+	// "Parse" the input: hostile inputs encode an absolute address the
+	// (buggy) parser dereferences — the classic pointer-smuggling bug.
+	if len(input) >= 8 && string(input[:5]) == "EVIL:" {
+		// Attack: interpret attacker bytes as an address and read it via
+		// a retargeted capability (e.g. hoping to hit master memory).
+		addr := uint64(0)
+		for _, b := range input[5:] {
+			addr = addr<<8 | uint64(b)
+		}
+		probe := w.DDC.SetAddr(addr)
+		if err := w.Load(probe, 0, make([]byte, secretLen)); err != nil {
+			return 2 // capability fault: contained
+		}
+		// If the load had succeeded, the secret would be exfiltrated here.
+		return 2
+	}
+	// Benign path: the input IS the password attempt.
+	pw := input
+	if len(pw) > 255 {
+		pw = pw[:255]
+	}
+	msg := append([]byte{byte(len(pw))}, pw...)
+	if _, err := k.Write(w, reqW, msg); err != nil {
+		return 2
+	}
+	resp := make([]byte, 1)
+	if n, err := k.Read(w, respR, resp); err != nil || n == 0 {
+		return 2
+	}
+	if resp[0] == 1 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,131 @@
+package privsep_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ufork/internal/apps/privsep"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+)
+
+func newKernel() *kernel.Kernel {
+	return kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(core.CopyOnPointerAccess),
+		Isolation: kernel.IsolationFull, // adversarial model: U3 requires it
+		Frames:    1 << 14,
+	})
+}
+
+func secret() []byte {
+	return bytes.Repeat([]byte{0x5a}, 32)
+}
+
+func withMaster(t *testing.T, fn func(k *kernel.Kernel, m *privsep.Master)) {
+	t.Helper()
+	k := newKernel()
+	if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		m, err := privsep.NewMaster(p, secret())
+		if err != nil {
+			t.Errorf("master: %v", err)
+			return
+		}
+		fn(k, m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestAuthenticationGranted(t *testing.T) {
+	withMaster(t, func(k *kernel.Kernel, m *privsep.Master) {
+		res, intact, err := m.RunSession(secret())
+		if err != nil {
+			t.Fatalf("session: %v", err)
+		}
+		if !res.Authenticated || res.Compromised {
+			t.Errorf("correct password: %+v", res)
+		}
+		if !intact {
+			t.Error("secret corrupted by a benign session")
+		}
+	})
+}
+
+func TestAuthenticationDenied(t *testing.T) {
+	withMaster(t, func(k *kernel.Kernel, m *privsep.Master) {
+		res, intact, err := m.RunSession([]byte("wrong-password"))
+		if err != nil {
+			t.Fatalf("session: %v", err)
+		}
+		if res.Authenticated {
+			t.Error("wrong password authenticated")
+		}
+		if !intact {
+			t.Error("secret corrupted")
+		}
+	})
+}
+
+// TestCompromisedWorkerContained is the U3 property: a worker driven into
+// arbitrary-pointer dereferences by hostile input neither reads the
+// master's secret nor corrupts it, and the master keeps serving.
+func TestCompromisedWorkerContained(t *testing.T) {
+	withMaster(t, func(k *kernel.Kernel, m *privsep.Master) {
+		// Hostile input encoding an absolute address (the master's heap is
+		// a plausible guess for an attacker who knows the layout).
+		evil := append([]byte("EVIL:"), 0, 0, 0, 0, 0, 1, 0, 0)
+		res, intact, err := m.RunSession(evil)
+		if err != nil {
+			t.Fatalf("session: %v", err)
+		}
+		if !res.Compromised {
+			t.Error("hostile input did not trip the capability system")
+		}
+		if res.Authenticated {
+			t.Error("hostile session authenticated")
+		}
+		if !intact {
+			t.Error("master secret damaged by compromised worker")
+		}
+		// The master survives and still authenticates correctly afterwards.
+		res, intact, err = m.RunSession(secret())
+		if err != nil {
+			t.Fatalf("follow-up session: %v", err)
+		}
+		if !res.Authenticated || !intact {
+			t.Errorf("master degraded after attack: %+v intact=%v", res, intact)
+		}
+	})
+}
+
+func TestManySessions(t *testing.T) {
+	withMaster(t, func(k *kernel.Kernel, m *privsep.Master) {
+		for i := 0; i < 10; i++ {
+			var input []byte
+			switch i % 3 {
+			case 0:
+				input = secret()
+			case 1:
+				input = []byte("nope")
+			case 2:
+				input = append([]byte("EVIL:"), byte(i), 0xff, 0x10, 0)
+			}
+			res, intact, err := m.RunSession(input)
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			if !intact {
+				t.Fatalf("session %d corrupted the secret", i)
+			}
+			if i%3 == 0 && !res.Authenticated {
+				t.Errorf("session %d: valid login denied", i)
+			}
+			if i%3 != 0 && res.Authenticated {
+				t.Errorf("session %d: invalid login granted", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Package unixbench reimplements the two Unixbench microbenchmarks the
+// paper replays in §5.2 (Fig. 9): Spawn (fork+exit in a tight loop) and
+// Context1 (two processes bouncing a counter through a pipe pair).
+package unixbench
+
+import (
+	"encoding/binary"
+
+	"ufork/internal/kernel"
+	"ufork/internal/sim"
+)
+
+// SpawnResult reports a Spawn run.
+type SpawnResult struct {
+	Iterations int
+	Elapsed    sim.Time
+	PerFork    sim.Time
+}
+
+// Spawn forks and reaps n children as fast as possible, the Unixbench
+// "Process Creation" loop. Must be called from a running process.
+func Spawn(p *kernel.Proc, n int) (SpawnResult, error) {
+	k := p.Kernel()
+	start := p.Now()
+	for i := 0; i < n; i++ {
+		if _, err := k.Fork(p, func(c *kernel.Proc) {
+			k.Exit(c, 0)
+		}); err != nil {
+			return SpawnResult{}, err
+		}
+		if _, _, err := k.Wait(p); err != nil {
+			return SpawnResult{}, err
+		}
+	}
+	elapsed := p.Now() - start
+	return SpawnResult{
+		Iterations: n,
+		Elapsed:    elapsed,
+		PerFork:    elapsed / sim.Time(n),
+	}, nil
+}
+
+// Context1Result reports a Context1 run.
+type Context1Result struct {
+	Exchanges int
+	Elapsed   sim.Time
+	PerSwitch sim.Time
+	Final     uint64
+}
+
+// Context1 opens two pipes between parent and child and passes an
+// incrementing counter back and forth until it reaches target — the
+// Unixbench "Pipe-based Context Switching" benchmark. Each exchange
+// forces two context switches and four syscalls, which is where the
+// trap-vs-sealed-capability and TLB-flush costs separate the systems.
+func Context1(p *kernel.Proc, target uint64) (Context1Result, error) {
+	k := p.Kernel()
+	// parent -> child pipe and child -> parent pipe.
+	p2cR, p2cW, err := k.Pipe(p)
+	if err != nil {
+		return Context1Result{}, err
+	}
+	c2pR, c2pW, err := k.Pipe(p)
+	if err != nil {
+		return Context1Result{}, err
+	}
+	start := p.Now()
+	_, err = k.Fork(p, func(c *kernel.Proc) {
+		// Close the ends this side does not use, as context1.c does —
+		// otherwise nobody ever observes EOF.
+		if err := k.Close(c, p2cW); err != nil {
+			k.Exit(c, 1)
+		}
+		if err := k.Close(c, c2pR); err != nil {
+			k.Exit(c, 1)
+		}
+		var buf [8]byte
+		for {
+			n, err := k.Read(c, p2cR, buf[:])
+			if err != nil || n == 0 {
+				k.Exit(c, 0)
+			}
+			v := binary.LittleEndian.Uint64(buf[:])
+			if v >= target {
+				k.Exit(c, 0)
+			}
+			binary.LittleEndian.PutUint64(buf[:], v+1)
+			if _, err := k.Write(c, c2pW, buf[:]); err != nil {
+				k.Exit(c, 1)
+			}
+		}
+	})
+	if err != nil {
+		return Context1Result{}, err
+	}
+	if err := k.Close(p, p2cR); err != nil {
+		return Context1Result{}, err
+	}
+	if err := k.Close(p, c2pW); err != nil {
+		return Context1Result{}, err
+	}
+
+	var buf [8]byte
+	v := uint64(0)
+	exchanges := 0
+	for v < target {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := k.Write(p, p2cW, buf[:]); err != nil {
+			return Context1Result{}, err
+		}
+		exchanges++
+		n, err := k.Read(p, c2pR, buf[:])
+		if err != nil {
+			return Context1Result{}, err
+		}
+		if n == 0 {
+			// The child saw the terminal value and hung up.
+			v = target
+			break
+		}
+		v = binary.LittleEndian.Uint64(buf[:]) + 1
+	}
+	// Tear down: closing the write end makes the child observe EOF if it
+	// is still reading.
+	if err := k.Close(p, p2cW); err != nil {
+		return Context1Result{}, err
+	}
+	if _, _, err := k.Wait(p); err != nil {
+		return Context1Result{}, err
+	}
+	elapsed := p.Now() - start
+	res := Context1Result{Exchanges: exchanges, Elapsed: elapsed, Final: v}
+	if exchanges > 0 {
+		res.PerSwitch = elapsed / sim.Time(exchanges*2)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package unixbench_test
+
+import (
+	"testing"
+
+	"ufork/internal/apps/unixbench"
+	"ufork/internal/baseline/posix"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+	"ufork/internal/sim"
+)
+
+func runOn(t *testing.T, m *model.Machine, eng kernel.ForkEngine, fn func(k *kernel.Kernel, p *kernel.Proc)) {
+	t.Helper()
+	k := kernel.New(kernel.Config{
+		Machine:   m,
+		Engine:    eng,
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 15,
+	})
+	if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		fn(k, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestSpawnCompletes(t *testing.T) {
+	runOn(t, model.UFork(2), core.New(core.CopyOnPointerAccess), func(k *kernel.Kernel, p *kernel.Proc) {
+		res, err := unixbench.Spawn(p, 50)
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		if res.Iterations != 50 || res.Elapsed == 0 || res.PerFork == 0 {
+			t.Fatalf("bad result: %+v", res)
+		}
+		// No zombie children remain.
+		if len(p.Children()) != 0 {
+			t.Fatalf("%d children unreaped", len(p.Children()))
+		}
+	})
+}
+
+func TestSpawnUForkFasterThanPosix(t *testing.T) {
+	var ufork, cheri sim.Time
+	runOn(t, model.UFork(2), core.New(core.CopyOnPointerAccess), func(k *kernel.Kernel, p *kernel.Proc) {
+		res, err := unixbench.Spawn(p, 30)
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		ufork = res.PerFork
+	})
+	runOn(t, model.Posix(2), posix.New(), func(k *kernel.Kernel, p *kernel.Proc) {
+		res, err := unixbench.Spawn(p, 30)
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		cheri = res.PerFork
+	})
+	if ufork >= cheri {
+		t.Fatalf("μFork per-fork %v should beat CheriBSD %v", ufork, cheri)
+	}
+	// Fig. 8 band: roughly 54 µs vs 197 µs — assert the 2–6× window.
+	ratio := float64(cheri) / float64(ufork)
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("fork latency ratio %.1f outside the paper's band", ratio)
+	}
+}
+
+func TestContext1Correctness(t *testing.T) {
+	runOn(t, model.UFork(2), core.New(core.CopyOnPointerAccess), func(k *kernel.Kernel, p *kernel.Proc) {
+		res, err := unixbench.Context1(p, 500)
+		if err != nil {
+			t.Fatalf("context1: %v", err)
+		}
+		if res.Final < 499 {
+			t.Fatalf("counter stopped at %d", res.Final)
+		}
+		if res.Exchanges == 0 || res.Elapsed == 0 {
+			t.Fatalf("bad result: %+v", res)
+		}
+	})
+}
+
+func TestContext1UForkFasterThanPosix(t *testing.T) {
+	var ufork, cheri sim.Time
+	runOn(t, model.UFork(2), core.New(core.CopyOnPointerAccess), func(k *kernel.Kernel, p *kernel.Proc) {
+		res, err := unixbench.Context1(p, 2000)
+		if err != nil {
+			t.Fatalf("context1: %v", err)
+		}
+		ufork = res.Elapsed
+	})
+	runOn(t, model.Posix(2), posix.New(), func(k *kernel.Kernel, p *kernel.Proc) {
+		res, err := unixbench.Context1(p, 2000)
+		if err != nil {
+			t.Fatalf("context1: %v", err)
+		}
+		cheri = res.Elapsed
+	})
+	if ufork >= cheri {
+		t.Fatalf("μFork Context1 %v should beat CheriBSD %v", ufork, cheri)
+	}
+	// Fig. 9 band: 245 ms vs 419 ms → ratio ≈ 1.7.
+	ratio := float64(cheri) / float64(ufork)
+	if ratio < 1.2 || ratio > 3 {
+		t.Fatalf("Context1 ratio %.2f outside the paper's band", ratio)
+	}
+}

@@ -1,0 +1,69 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRepresentableAlign(t *testing.T) {
+	cases := []struct {
+		length uint64
+		align  uint64
+	}{
+		{1, 1},
+		{16, 1},
+		{1 << 13, 1},
+		{1<<14 - 1, 1},
+		{1 << 14, 1},         // exactly 2^14: ceil(log2) == 14 → exact
+		{1<<14 + 1, 2},       // 15-bit length → 2-byte alignment
+		{100 * 1024, 8},      // 17-bit
+		{1 << 20, 64},        // 21-bit... ceil(log2)=20 → 2^6
+		{137 << 20, 1 << 14}, // the paper's static heap scale
+	}
+	for _, tc := range cases {
+		if got := RepresentableAlign(tc.length); got != tc.align {
+			t.Errorf("RepresentableAlign(%d) = %d, want %d", tc.length, got, tc.align)
+		}
+	}
+}
+
+func TestSetBoundsRepresentability(t *testing.T) {
+	root := Root(0, 1<<40)
+	// A large object at an unaligned base is refused.
+	if _, err := root.SetAddr(16).SetBounds(1 << 20); !errors.Is(err, ErrNotRepresentable) {
+		t.Fatalf("unaligned large bounds: %v", err)
+	}
+	// The same object aligned works.
+	c, err := root.SetAddr(1 << 20).SetBounds(1 << 20)
+	if err != nil {
+		t.Fatalf("aligned large bounds: %v", err)
+	}
+	if c.Len() != 1<<20 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Small objects are exact at any 1-byte base.
+	if _, err := root.SetAddr(12345).SetBounds(100); err != nil {
+		t.Fatalf("small bounds: %v", err)
+	}
+}
+
+// Property: RepresentableLength always yields a representable length at an
+// aligned base, and never shrinks.
+func TestRepresentableLengthProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		length := uint64(raw)
+		if length == 0 {
+			length = 1
+		}
+		r := RepresentableLength(length)
+		if r < length {
+			return false
+		}
+		a := RepresentableAlign(r)
+		return Representable(a*8, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

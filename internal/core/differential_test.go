@@ -1,0 +1,196 @@
+package core_test
+
+// Differential testing of fork semantics: random sequences of memory
+// writes, forks, child mutations and reads are applied both to the
+// simulated system and to a trivially correct reference model (fork =
+// deep copy of a byte array). Any divergence is a transparency bug (R2).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ufork/internal/baseline/posix"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+)
+
+// refProc is the reference model of one process: a plain byte array.
+type refProc struct {
+	heap []byte
+}
+
+func (r *refProc) fork() *refProc {
+	return &refProc{heap: append([]byte(nil), r.heap...)}
+}
+
+// differentialRound runs one random schedule against both models.
+func differentialRound(t *testing.T, seed int64, mode core.CopyMode) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const heapBytes = 32 * 4096
+
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(mode),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 15,
+	})
+	spec := kernel.HelloWorldSpec()
+	spec.HeapPages = heapBytes / kernel.PageSize
+
+	if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+		ref := &refProc{heap: make([]byte, heapBytes)}
+
+		// mutate applies the same random write to both models.
+		mutate := func(proc *kernel.Proc, r *refProc) error {
+			off := uint64(rng.Intn(heapBytes - 64))
+			n := rng.Intn(64) + 1
+			blob := make([]byte, n)
+			rng.Read(blob)
+			copy(r.heap[off:], blob)
+			return proc.Store(proc.HeapCap, off, blob)
+		}
+		// verify compares a random window across models.
+		verify := func(proc *kernel.Proc, r *refProc, who string) error {
+			off := uint64(rng.Intn(heapBytes - 256))
+			n := rng.Intn(256) + 1
+			got := make([]byte, n)
+			if err := proc.Load(proc.HeapCap, off, got); err != nil {
+				return err
+			}
+			want := r.heap[off : off+uint64(n)]
+			for i := range got {
+				if got[i] != want[i] {
+					return fmt.Errorf("%s diverged at heap+%d+%d: got %d want %d",
+						who, off, i, got[i], want[i])
+				}
+			}
+			return nil
+		}
+
+		// The schedule: parent ops interleaved with forks whose children
+		// run their own random ops and verifications.
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				if err := mutate(p, ref); err != nil {
+					t.Errorf("parent mutate: %v", err)
+					return
+				}
+			case 2:
+				if err := verify(p, ref, "parent"); err != nil {
+					t.Errorf("step %d: %v", step, err)
+					return
+				}
+			case 3:
+				childRef := ref.fork()
+				childOps := rng.Intn(10) + 2
+				_, err := k.Fork(p, func(c *kernel.Proc) {
+					for i := 0; i < childOps; i++ {
+						if rng.Intn(2) == 0 {
+							if err := mutate(c, childRef); err != nil {
+								t.Errorf("child mutate: %v", err)
+								return
+							}
+						} else if err := verify(c, childRef, "child"); err != nil {
+							t.Errorf("child step %d: %v", i, err)
+							return
+						}
+					}
+					if err := verify(c, childRef, "child-final"); err != nil {
+						t.Error(err)
+					}
+				})
+				if err != nil {
+					t.Errorf("fork: %v", err)
+					return
+				}
+				// Parent races ahead with more mutations while the child
+				// still runs, then reaps.
+				if err := mutate(p, ref); err != nil {
+					t.Errorf("parent racing mutate: %v", err)
+					return
+				}
+				if _, _, err := k.Wait(p); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+			}
+		}
+		if err := verify(p, ref, "parent-final"); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestDifferentialForkSemantics(t *testing.T) {
+	for _, mode := range []core.CopyMode{core.CopyOnPointerAccess, core.CopyOnAccess, core.CopyFull} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				differentialRound(t, seed, mode)
+			}
+		})
+	}
+}
+
+// TestDifferentialAcrossEngines runs the same differential schedule on the
+// posix baseline: fork transparency must hold identically there.
+func TestDifferentialPosixBaseline(t *testing.T) {
+	for seed := int64(100); seed <= 104; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		const heapBytes = 16 * 4096
+		k := kernel.New(kernel.Config{
+			Machine:   model.Posix(2),
+			Engine:    posix.New(),
+			Isolation: kernel.IsolationFull,
+			Frames:    1 << 14,
+		})
+		spec := kernel.HelloWorldSpec()
+		spec.HeapPages = heapBytes / kernel.PageSize
+		if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+			ref := make([]byte, heapBytes)
+			blob := make([]byte, 128)
+			for i := 0; i < 10; i++ {
+				off := uint64(rng.Intn(heapBytes - 128))
+				rng.Read(blob)
+				copy(ref[off:], blob)
+				if err := p.Store(p.HeapCap, off, blob); err != nil {
+					t.Error(err)
+					return
+				}
+				childRef := append([]byte(nil), ref...)
+				_, err := k.Fork(p, func(c *kernel.Proc) {
+					got := make([]byte, heapBytes)
+					if err := c.Load(c.HeapCap, 0, got); err != nil {
+						t.Errorf("child load: %v", err)
+						return
+					}
+					for j := range got {
+						if got[j] != childRef[j] {
+							t.Errorf("posix child diverged at %d", j)
+							return
+						}
+					}
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := k.Wait(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,47 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+)
+
+// TestBigKernelLockSerializes: on a multi-core μFork machine, concurrent
+// syscall-heavy μprocesses contend on the big kernel lock (§4.5); the
+// same workload on the CheriBSD model (fine-grained locking) does not.
+func TestBigKernelLockSerializes(t *testing.T) {
+	run := func(m *model.Machine, eng kernel.ForkEngine) (contended uint64) {
+		k := kernel.New(kernel.Config{
+			Machine:   m,
+			Engine:    eng,
+			Isolation: kernel.IsolationFull,
+			Frames:    1 << 14,
+		})
+		if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+			for i := 0; i < 3; i++ {
+				if _, err := k.Fork(p, func(c *kernel.Proc) {
+					for j := 0; j < 200; j++ {
+						k.Getpid(c)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if _, _, err := k.Wait(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return k.BKLContended()
+	}
+	ufork := run(model.UFork(4), core.New(core.CopyOnPointerAccess))
+	if ufork == 0 {
+		t.Error("μFork multicore syscall storm should contend on the BKL")
+	}
+}

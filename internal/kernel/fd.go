@@ -1,0 +1,340 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ufork/internal/sim"
+)
+
+// File is the kernel-internal file interface. Read and Write may block the
+// calling process in virtual time (pipes, sockets).
+type File interface {
+	Read(k *Kernel, p *Proc, buf []byte) (int, error)
+	Write(k *Kernel, p *Proc, buf []byte) (int, error)
+	Close(k *Kernel, p *Proc) error
+}
+
+// OpenFile is one open file description: shared by parent and child after
+// fork, exactly as POSIX dictates (offset and flags are per-description,
+// not per-descriptor).
+type OpenFile struct {
+	File   File
+	Offset uint64
+	refs   int
+}
+
+// FDTable maps descriptor numbers to open file descriptions.
+type FDTable struct {
+	slots []*OpenFile
+}
+
+// NewFDTable creates an empty descriptor table.
+func NewFDTable() *FDTable { return &FDTable{} }
+
+// Install places of in the lowest free slot and returns its descriptor.
+func (t *FDTable) Install(of *OpenFile) int {
+	of.refs++
+	for i, s := range t.slots {
+		if s == nil {
+			t.slots[i] = of
+			return i
+		}
+	}
+	t.slots = append(t.slots, of)
+	return len(t.slots) - 1
+}
+
+// Get returns the open file for fd.
+func (t *FDTable) Get(fd int) (*OpenFile, error) {
+	if fd < 0 || fd >= len(t.slots) || t.slots[fd] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return t.slots[fd], nil
+}
+
+// Close removes fd, closing the description when the last reference drops.
+func (t *FDTable) Close(k *Kernel, p *Proc, fd int) error {
+	of, err := t.Get(fd)
+	if err != nil {
+		return err
+	}
+	t.slots[fd] = nil
+	of.refs--
+	if of.refs == 0 {
+		return of.File.Close(k, p)
+	}
+	return nil
+}
+
+// CloseAll closes every descriptor (process exit).
+func (t *FDTable) CloseAll(k *Kernel, p *Proc) {
+	for fd := range t.slots {
+		if t.slots[fd] != nil {
+			_ = t.Close(k, p, fd)
+		}
+	}
+}
+
+// Dup duplicates the table for a forked child: descriptions are shared,
+// reference counts bumped (POSIX fork semantics, §3.5 step 1).
+func (t *FDTable) Dup() *FDTable {
+	nt := &FDTable{slots: make([]*OpenFile, len(t.slots))}
+	for i, of := range t.slots {
+		if of != nil {
+			of.refs++
+			nt.slots[i] = of
+		}
+	}
+	return nt
+}
+
+// Len returns the number of open descriptors.
+func (t *FDTable) Len() int {
+	n := 0
+	for _, of := range t.slots {
+		if of != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Console is the sink behind descriptors 0/1/2.
+type Console struct {
+	// Captured output, retained for tests.
+	Out []byte
+}
+
+// Read always reports EOF-like zero bytes.
+func (c *Console) Read(*Kernel, *Proc, []byte) (int, error) { return 0, nil }
+
+// Write appends to the captured output.
+func (c *Console) Write(_ *Kernel, _ *Proc, buf []byte) (int, error) {
+	c.Out = append(c.Out, buf...)
+	return len(buf), nil
+}
+
+// Close is a no-op.
+func (c *Console) Close(*Kernel, *Proc) error { return nil }
+
+// pipeCapacity matches the traditional 64 KiB pipe buffer.
+const pipeCapacity = 64 * 1024
+
+// sockBufBytes is the in-flight window of a simulated TCP connection: a
+// writer with more data than this blocks until the remote side drains,
+// which is the I/O yield that lets extra Nginx workers help even on a
+// single core (§5.1, Fig. 7).
+const sockBufBytes = 4 * 1024
+
+// pipeCore is the shared buffer between the two pipe ends.
+type pipeCore struct {
+	buf     []byte
+	cap     int
+	readers int
+	writers int
+	rq, wq  sim.WaitQueue
+}
+
+// PipeReader is the read end of a pipe.
+type PipeReader struct{ c *pipeCore }
+
+// PipeWriter is the write end of a pipe.
+type PipeWriter struct{ c *pipeCore }
+
+// NewPipe creates a connected pipe pair with the classic 64 KiB buffer.
+func NewPipe() (*PipeReader, *PipeWriter) { return newPipeCap(pipeCapacity) }
+
+func newPipeCap(capacity int) (*PipeReader, *PipeWriter) {
+	c := &pipeCore{cap: capacity, readers: 1, writers: 1}
+	return &PipeReader{c}, &PipeWriter{c}
+}
+
+// Read blocks (in virtual time) until data is available or all writers
+// have closed. A read that blocked pays the machine's context-switch cost
+// when it resumes — on the multi-address-space baseline that includes the
+// page-table switch and TLB flush, the cost Fig. 9's Context1 benchmark
+// isolates.
+func (r *PipeReader) Read(k *Kernel, p *Proc, buf []byte) (int, error) {
+	c := r.c
+	blocked := false
+	for len(c.buf) == 0 {
+		if c.writers == 0 {
+			return 0, nil // EOF
+		}
+		c.rq.Wait(p.Task)
+		blocked = true
+	}
+	if blocked {
+		k.chargeSwitch(p)
+	}
+	n := copy(buf, c.buf)
+	c.buf = c.buf[n:]
+	p.Task.Book(sim.Time(n) * k.Machine.PipeByte)
+	c.wq.WakeAll(p.Task, p.Task.Now())
+	return n, nil
+}
+
+// Write is not permitted on the read end.
+func (r *PipeReader) Write(*Kernel, *Proc, []byte) (int, error) {
+	return 0, fmt.Errorf("%w: write to pipe read end", ErrBadFD)
+}
+
+// Close drops the reader.
+func (r *PipeReader) Close(_ *Kernel, p *Proc) error {
+	r.c.readers--
+	if r.c.readers == 0 && !r.c.wq.Empty() {
+		r.c.wq.WakeAll(p.Task, p.Task.Now())
+	}
+	return nil
+}
+
+// Read is not permitted on the write end.
+func (w *PipeWriter) Read(*Kernel, *Proc, []byte) (int, error) {
+	return 0, fmt.Errorf("%w: read from pipe write end", ErrBadFD)
+}
+
+// Write blocks while the pipe is full and readers remain.
+func (w *PipeWriter) Write(k *Kernel, p *Proc, buf []byte) (int, error) {
+	c := w.c
+	total := 0
+	for len(buf) > 0 {
+		if c.readers == 0 {
+			return total, ErrPipeClosed // EPIPE
+		}
+		space := c.cap - len(c.buf)
+		if space == 0 {
+			c.wq.Wait(p.Task)
+			k.chargeSwitch(p)
+			continue
+		}
+		n := len(buf)
+		if n > space {
+			n = space
+		}
+		c.buf = append(c.buf, buf[:n]...)
+		buf = buf[n:]
+		total += n
+		p.Task.Book(sim.Time(n) * k.Machine.PipeByte)
+		c.rq.WakeAll(p.Task, p.Task.Now())
+	}
+	return total, nil
+}
+
+// Close drops the writer, waking blocked readers so they observe EOF.
+func (w *PipeWriter) Close(_ *Kernel, p *Proc) error {
+	w.c.writers--
+	if w.c.writers == 0 && !w.c.rq.Empty() {
+		w.c.rq.WakeAll(p.Task, p.Task.Now())
+	}
+	return nil
+}
+
+// Conn is one direction-pair simulated network connection (the accept side
+// of the HTTP experiments). Internally it is two pipes.
+type Conn struct {
+	in  *PipeReader // data from the client
+	out *PipeWriter // data to the client
+}
+
+// ClientConn is the client's half.
+type ClientConn struct {
+	out *PipeWriter // data to the server
+	in  *PipeReader // data from the server
+}
+
+// NewConn builds a connected (server, client) socket pair. Both directions
+// carry a TCP-window-sized buffer, so bulk responses block the server until
+// the client drains.
+func NewConn() (*Conn, *ClientConn) {
+	sIn, cOut := newPipeCap(sockBufBytes)
+	cIn, sOut := newPipeCap(sockBufBytes)
+	return &Conn{in: sIn, out: sOut}, &ClientConn{out: cOut, in: cIn}
+}
+
+// Read receives from the client.
+func (c *Conn) Read(k *Kernel, p *Proc, buf []byte) (int, error) {
+	return c.in.Read(k, p, buf)
+}
+
+// Write sends to the client.
+func (c *Conn) Write(k *Kernel, p *Proc, buf []byte) (int, error) {
+	return c.out.Write(k, p, buf)
+}
+
+// Close tears down both directions.
+func (c *Conn) Close(k *Kernel, p *Proc) error {
+	_ = c.in.Close(k, p)
+	return c.out.Close(k, p)
+}
+
+// Send writes request bytes from the (driver-side) client.
+func (c *ClientConn) Send(k *Kernel, p *Proc, buf []byte) (int, error) {
+	return c.out.Write(k, p, buf)
+}
+
+// Recv reads response bytes on the client.
+func (c *ClientConn) Recv(k *Kernel, p *Proc, buf []byte) (int, error) {
+	return c.in.Read(k, p, buf)
+}
+
+// CloseClient tears down the client half.
+func (c *ClientConn) CloseClient(k *Kernel, p *Proc) error {
+	_ = c.out.Close(k, p)
+	return c.in.Close(k, p)
+}
+
+// Listener is a simulated listening socket with an accept queue.
+type Listener struct {
+	backlog []*Conn
+	aq      sim.WaitQueue
+	closed  bool
+}
+
+// NewListener creates a listening socket.
+func NewListener() *Listener { return &Listener{} }
+
+// Connect enqueues a new connection from the driver and returns the
+// client half. Exactly one blocked acceptor is woken (no thundering
+// herd), in FIFO order, so load rotates across workers.
+func (l *Listener) Connect(p *Proc) *ClientConn {
+	server, client := NewConn()
+	l.backlog = append(l.backlog, server)
+	l.aq.WakeOne(p.Task, p.Task.Now())
+	return client
+}
+
+// Accept blocks until a connection arrives, then returns its server half.
+func (l *Listener) Accept(p *Proc) (*Conn, error) {
+	blocked := false
+	for len(l.backlog) == 0 {
+		if l.closed {
+			return nil, ErrPipeClosed
+		}
+		l.aq.Wait(p.Task)
+		blocked = true
+	}
+	if blocked {
+		p.k.chargeSwitch(p)
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// Shutdown closes the listener, waking blocked accepts.
+func (l *Listener) Shutdown(p *Proc) {
+	l.closed = true
+	l.aq.WakeAll(p.Task, p.Task.Now())
+}
+
+// Read is not supported on listeners.
+func (l *Listener) Read(*Kernel, *Proc, []byte) (int, error) { return 0, ErrNotSocket }
+
+// Write is not supported on listeners.
+func (l *Listener) Write(*Kernel, *Proc, []byte) (int, error) { return 0, ErrNotSocket }
+
+// Close shuts the listener down.
+func (l *Listener) Close(_ *Kernel, p *Proc) error {
+	l.Shutdown(p)
+	return nil
+}

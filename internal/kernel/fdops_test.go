@@ -1,0 +1,150 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"ufork/internal/kernel"
+)
+
+func TestDupSharesOffset(t *testing.T) {
+	k := newKernel(1, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		fd, err := k.Open(p, "/f", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(p, fd, []byte("abcdef")); err != nil {
+			t.Fatal(err)
+		}
+		dup, err := k.Dup(p, fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Writing through the dup continues at the shared offset.
+		if _, err := k.Write(p, dup, []byte("XYZ")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(p, fd, []byte("!")); err != nil {
+			t.Fatal(err)
+		}
+		ino, _ := k.VFS().Lookup("/f")
+		if string(ino.Data) != "abcdefXYZ!" {
+			t.Fatalf("file = %q", ino.Data)
+		}
+		// Closing the original leaves the dup usable.
+		if err := k.Close(p, fd); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(p, dup, []byte("?")); err != nil {
+			t.Fatalf("write after closing twin: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestDup2Daemonize(t *testing.T) {
+	k := newKernel(1, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		// The U6 pattern: re-point stdout (fd 1) at a log file.
+		logfd, err := k.Open(p, "/daemon.log", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Dup2(p, logfd, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(p, 1, []byte("daemon says hi\n")); err != nil {
+			t.Fatal(err)
+		}
+		ino, ok := k.VFS().Lookup("/daemon.log")
+		if !ok || string(ino.Data) != "daemon says hi\n" {
+			t.Fatalf("log = %q", ino.Data)
+		}
+		// dup2 onto itself is a no-op.
+		if fd, err := k.Dup2(p, logfd, logfd); err != nil || fd != logfd {
+			t.Fatalf("self dup2: %d %v", fd, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestLseek(t *testing.T) {
+	k := newKernel(1, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		fd, err := k.Open(p, "/s", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(p, fd, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		if pos, err := k.Lseek(p, fd, 2, kernel.SeekSet); err != nil || pos != 2 {
+			t.Fatalf("seek set: %d %v", pos, err)
+		}
+		buf := make([]byte, 3)
+		if _, err := k.Read(p, fd, buf); err != nil || string(buf) != "234" {
+			t.Fatalf("read after seek: %q %v", buf, err)
+		}
+		if pos, err := k.Lseek(p, fd, -2, kernel.SeekEnd); err != nil || pos != 8 {
+			t.Fatalf("seek end: %d %v", pos, err)
+		}
+		if pos, err := k.Lseek(p, fd, 1, kernel.SeekCur); err != nil || pos != 9 {
+			t.Fatalf("seek cur: %d %v", pos, err)
+		}
+		if _, err := k.Lseek(p, fd, -100, kernel.SeekSet); err == nil {
+			t.Fatal("negative seek allowed")
+		}
+		// Pipes are not seekable.
+		rfd, _, err := k.Pipe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Lseek(p, rfd, 0, kernel.SeekSet); err == nil {
+			t.Fatal("seek on pipe allowed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestUnlinkAndStat(t *testing.T) {
+	k := newKernel(1, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		fd, err := k.Open(p, "/u", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Write(p, fd, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if size, err := k.Stat(p, "/u"); err != nil || size != 7 {
+			t.Fatalf("stat: %d %v", size, err)
+		}
+		if err := k.Unlink(p, "/u"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Stat(p, "/u"); !errors.Is(err, kernel.ErrNoEnt) {
+			t.Fatalf("stat after unlink: %v", err)
+		}
+		// POSIX semantics: the open description still works post-unlink.
+		if _, err := k.Write(p, fd, []byte("!")); err != nil {
+			t.Fatalf("write after unlink: %v", err)
+		}
+		if err := k.Unlink(p, "/u"); !errors.Is(err, kernel.ErrNoEnt) {
+			t.Fatalf("double unlink: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}

@@ -1,0 +1,394 @@
+// Package kernel implements the single-address-space operating system
+// μFork is built into, plus the machinery shared with the multi-address-
+// space baselines.
+//
+// The kernel is a library OS in the Unikraft mould (§4): μprocesses and the
+// kernel share one virtual address space and one privilege level, isolated
+// by CHERI capabilities; system calls enter through sealed capability
+// jumps instead of traps; SMP is serialized by a big kernel lock. The same
+// kernel code, configured with a different model.Machine and ForkEngine,
+// becomes the CheriBSD-like monolithic baseline (per-process address
+// spaces, trap syscalls) or the Nephele-like VM-cloning baseline.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ufork/internal/cap"
+	"ufork/internal/model"
+	"ufork/internal/sim"
+	"ufork/internal/tmem"
+	"ufork/internal/vm"
+)
+
+// IsolationLevel selects how much of the POSIX trust model the kernel
+// enforces (§3.6, §4.4 — design requirement R4).
+type IsolationLevel int
+
+const (
+	// IsolationNone trusts the entire system: capabilities span all memory
+	// and the kernel skips argument validation and TOCTTOU copies. For
+	// fully trusted deployments (e.g. Redis snapshotting).
+	IsolationNone IsolationLevel = iota
+	// IsolationFault provides non-adversarial fault isolation: μprocess
+	// capabilities are bounded to their region and basic kernel checks run,
+	// but TOCTTOU copy-in/out is skipped. For trusted-but-buggy software
+	// (e.g. Nginx workers).
+	IsolationFault
+	// IsolationFull is the adversarial POSIX model: bounded capabilities,
+	// argument validation, and TOCTTOU copies of all user buffers. For
+	// privilege separation (e.g. qmail, OpenSSH).
+	IsolationFull
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case IsolationNone:
+		return "none"
+	case IsolationFault:
+		return "fault"
+	case IsolationFull:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors returned by kernel operations.
+var (
+	ErrNoChildren = errors.New("kernel: no children to wait for")
+	ErrBadFD      = errors.New("kernel: bad file descriptor")
+	ErrNoEnt      = errors.New("kernel: no such file")
+	ErrExist      = errors.New("kernel: file exists")
+	ErrSegfault   = errors.New("kernel: segmentation fault")
+	ErrCapFault   = errors.New("kernel: capability fault")
+	ErrNoProc     = errors.New("kernel: no such process")
+	ErrPipeClosed = errors.New("kernel: pipe closed")
+	ErrNotSocket  = errors.New("kernel: not a socket")
+)
+
+// PID identifies a μprocess.
+type PID int
+
+// ForkStats reports the work a fork performed; the benchmark harness uses
+// it for per-experiment accounting.
+type ForkStats struct {
+	Latency        sim.Time // virtual time the fork call consumed
+	PTEsCopied     int
+	PagesCopied    int // frames physically duplicated during the fork call
+	CapsRelocated  int // capabilities rewritten during the fork call
+	ProactivePages int // GOT + allocator-metadata pages copied eagerly
+}
+
+// ForkEngine is the strategy that implements fork: μFork (internal/core),
+// classic CoW in a private address space (internal/baseline/posix), or
+// whole-VM cloning (internal/baseline/vmclone).
+type ForkEngine interface {
+	// Name identifies the engine for reports.
+	Name() string
+	// Fork duplicates parent into a newly allocated child Proc. The child's
+	// address space, region, registers, and pending-copy state must be
+	// fully initialised; the kernel handles PID assignment, FD duplication
+	// and task creation. Fork returns statistics including the virtual-time
+	// latency to charge the parent.
+	Fork(k *Kernel, parent, child *Proc) (ForkStats, error)
+	// HandleFault resolves a page fault raised by proc p (CoW / CoA / CoPA
+	// resolution). It returns an error when the fault is a genuine
+	// violation (segfault).
+	HandleFault(k *Kernel, p *Proc, f *vm.Fault, acc vm.Access) error
+	// ChildStart runs as the first act of a forked child's task; the
+	// monolithic baseline uses it to model child-side runtime fixups
+	// (dynamic linker relocations, allocator arena bookkeeping).
+	ChildStart(k *Kernel, child *Proc)
+}
+
+// Region is a contiguous virtual address range assigned to one μprocess
+// (Fig. 1) or to the kernel.
+type Region struct {
+	Base uint64
+	Size uint64
+	Name string
+}
+
+// Top returns the exclusive end of the region.
+func (r Region) Top() uint64 { return r.Base + r.Size }
+
+// Contains reports whether va falls inside the region.
+func (r Region) Contains(va uint64) bool { return va >= r.Base && va < r.Top() }
+
+// regionAllocator hands out non-overlapping regions of the shared virtual
+// address space. Virtual space is 64-bit and the simulations are short, so
+// it is a pure bump allocator; records are retained so relocation can map
+// any historical address back to its region (§4.2).
+//
+// With ASLR enabled (§3.7: "ASLR can be implemented by randomizing the
+// base offset of the contiguous memory area dedicated to each μprocess"),
+// each reservation is displaced by a random page-aligned offset inside an
+// extra slack window, so region bases are unpredictable while regions stay
+// contiguous and disjoint.
+type regionAllocator struct {
+	next    uint64
+	regions []Region
+	aslr    *rand.Rand
+	// free holds released regions by size — the size-class reuse the
+	// paper sketches as future work for fragmentation (§6). A region is
+	// only released when no capability anywhere can still reference it
+	// (see Kernel.terminate).
+	free map[uint64][]Region
+	// Reused counts reservations satisfied from the free list.
+	Reused uint64
+}
+
+const (
+	regionAlign = 1 << 28 // 256 MiB region granularity
+	aslrWindow  = 1 << 24 // 16 MiB of base-offset entropy per region
+	// aslrGrain keeps randomized bases aligned strongly enough that every
+	// segment capability stays representable in the compressed encoding
+	// (the largest segment alignment for 256 MiB regions is 16 KiB).
+	aslrGrain = 1 << 16
+)
+
+func (ra *regionAllocator) reserve(size uint64, name string) Region {
+	// Size-class reuse first: forked children all share their parent's
+	// region size, so exact-size classes hit almost always.
+	if rs := ra.free[size]; len(rs) > 0 {
+		r := rs[len(rs)-1]
+		ra.free[size] = rs[:len(rs)-1]
+		r.Name = name
+		ra.Reused++
+		return r
+	}
+	slack := uint64(0)
+	if ra.aslr != nil {
+		slack = uint64(ra.aslr.Intn(aslrWindow/aslrGrain)) * aslrGrain
+	}
+	sz := (size + slack + regionAlign - 1) &^ uint64(regionAlign-1)
+	r := Region{Base: ra.next + slack, Size: sz - slack, Name: name}
+	ra.next += sz
+	ra.regions = append(ra.regions, r)
+	return r
+}
+
+// release returns a region to its size class for reuse.
+func (ra *regionAllocator) release(r Region) {
+	if ra.free == nil {
+		ra.free = make(map[uint64][]Region)
+	}
+	ra.free[r.Size] = append(ra.free[r.Size], r)
+}
+
+// VASpaceUsed reports how much of the virtual address space the allocator
+// has consumed (the §6 fragmentation metric).
+func (ra *regionAllocator) VASpaceUsed() uint64 { return ra.next }
+
+// find returns the region containing va, if any.
+func (ra *regionAllocator) find(va uint64) (Region, bool) {
+	i := sort.Search(len(ra.regions), func(i int) bool { return ra.regions[i].Top() > va })
+	if i < len(ra.regions) && ra.regions[i].Contains(va) {
+		return ra.regions[i], true
+	}
+	return Region{}, false
+}
+
+// Stats aggregates kernel-wide counters for the harness.
+type Stats struct {
+	Forks       uint64
+	Syscalls    uint64
+	PageFaults  uint64
+	CtxSwitches uint64
+}
+
+// Kernel is one simulated operating system instance.
+type Kernel struct {
+	Eng     *sim.Engine
+	Machine *model.Machine
+	Mem     *tmem.Memory
+	Engine  ForkEngine
+	Iso     IsolationLevel
+
+	// SharedAS is the single address space (single-address-space machines
+	// only); multi-AS machines give each Proc its own.
+	SharedAS *vm.AddressSpace
+
+	// Regions allocates μprocess regions within the shared address space.
+	Regions regionAllocator
+
+	// KernelRegion hosts the kernel image in the shared address space.
+	KernelRegion Region
+
+	// bkl is the big kernel lock serializing kernel execution (§4.5).
+	bkl sim.VLock
+
+	// sentry is the sealed kernel entry capability handed to μprocesses
+	// (§4.4, principle 1). There is no other way into the kernel.
+	sentry cap.Capability
+
+	vfs   *VFS
+	shm   shmRegistry
+	procs map[PID]*Proc
+	next  PID
+
+	Stats Stats
+}
+
+// Config bundles kernel construction parameters.
+type Config struct {
+	Machine   *model.Machine
+	Engine    ForkEngine
+	Isolation IsolationLevel
+	// Frames is the physical memory size in 4 KiB frames. Zero selects a
+	// default large enough for the biggest experiment.
+	Frames int
+	// ASLRSeed, when nonzero, randomizes μprocess region base offsets
+	// (§3.7). The same seed reproduces the same layout.
+	ASLRSeed int64
+}
+
+// New boots a kernel on a fresh simulation engine.
+func New(cfg Config) *Kernel {
+	frames := cfg.Frames
+	if frames == 0 {
+		frames = 1 << 19 // 2 GiB
+	}
+	k := &Kernel{
+		Eng:     sim.NewEngine(cfg.Machine.Cores),
+		Machine: cfg.Machine,
+		Mem:     tmem.New(frames),
+		Engine:  cfg.Engine,
+		Iso:     cfg.Isolation,
+		vfs:     NewVFS(),
+		procs:   make(map[PID]*Proc),
+		next:    1,
+	}
+	if cfg.Machine.SingleAddressSpace {
+		k.SharedAS = vm.NewAddressSpace(k.Mem)
+	}
+	if cfg.ASLRSeed != 0 {
+		k.Regions.aslr = rand.New(rand.NewSource(cfg.ASLRSeed))
+	}
+	// Reserve the kernel's own region first (Fig. 1: kernel at the bottom
+	// of the shared address space).
+	k.KernelRegion = k.Regions.reserve(regionAlign, "kernel")
+	// Mint the sealed syscall entry capability: an executable capability
+	// into kernel text, sealed as a sentry. μprocesses can invoke it but
+	// never inspect or retarget it.
+	kcode := cap.Root(k.KernelRegion.Base, 1<<20).WithPerms(cap.PermCode)
+	sentry, err := kcode.SealEntry()
+	if err != nil {
+		panic("kernel: cannot seal syscall entry: " + err.Error())
+	}
+	k.sentry = sentry
+	return k
+}
+
+// VFS returns the kernel's file system.
+func (k *Kernel) VFS() *VFS { return k.vfs }
+
+// Procs returns the live process table (for tests and the harness).
+func (k *Kernel) Procs() map[PID]*Proc { return k.procs }
+
+// FindProc returns the process with the given PID.
+func (k *Kernel) FindProc(pid PID) (*Proc, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// FindRegion maps a virtual address to its owning region, used by the
+// relocation pass for capabilities that point into an ancestor μprocess.
+func (k *Kernel) FindRegion(va uint64) (Region, bool) { return k.Regions.find(va) }
+
+// ReserveRegion allocates a fresh contiguous region of the shared virtual
+// address space (used by fork engines for child μprocesses).
+func (k *Kernel) ReserveRegion(size uint64, name string) Region {
+	return k.Regions.reserve(size, name)
+}
+
+// BKLContended reports how many big-kernel-lock acquisitions had to wait —
+// the SMP serialization the paper discusses in §4.5.
+func (k *Kernel) BKLContended() uint64 { return k.bkl.Contended }
+
+// Run drives the simulation to completion.
+func (k *Kernel) Run() { k.Eng.Run() }
+
+// Spawn loads a program and creates its initial μprocess, whose entry
+// function starts at virtual time start.
+func (k *Kernel) Spawn(spec ProgramSpec, start sim.Time, entry func(*Proc)) (*Proc, error) {
+	p, err := k.load(spec)
+	if err != nil {
+		return nil, err
+	}
+	k.startProc(p, start, entry)
+	return p, nil
+}
+
+// startProc attaches a sim task to a fully constructed Proc.
+func (k *Kernel) startProc(p *Proc, start sim.Time, entry func(*Proc)) {
+	p.Task = k.Eng.Go(fmt.Sprintf("%s[%d]", p.Spec.Name, p.PID), start, func(t *sim.Task) {
+		defer k.reapOnReturn(p)
+		if p.Parent != nil {
+			k.Engine.ChildStart(k, p)
+		}
+		entry(p)
+	})
+	p.Task.SwitchCost = k.Machine.CtxSwitch
+}
+
+type exitPanic struct{ status int }
+
+// reapOnReturn converts a returning (or Exit-panicking) entry function into
+// process termination.
+func (k *Kernel) reapOnReturn(p *Proc) {
+	status := 0
+	if r := recover(); r != nil {
+		ep, ok := r.(exitPanic)
+		if !ok {
+			panic(r)
+		}
+		status = ep.status
+	}
+	k.terminate(p, status)
+}
+
+// terminate marks p as a zombie, releases its memory and descriptors, and
+// wakes any waiting parent.
+func (k *Kernel) terminate(p *Proc, status int) {
+	if p.exited {
+		return
+	}
+	p.exited = true
+	p.exitStatus = status
+	p.FDs.CloseAll(k, p)
+	// Release the μprocess memory image. Shared frames survive through
+	// their reference counts; private frames are freed.
+	if err := p.AS.UnmapRange(p.Region.Base, p.Region.Size); err != nil {
+		panic("kernel: exit unmap: " + err.Error())
+	}
+	// Virtual-address-space reclamation (§6 future work): the region can
+	// be reused once nothing can reference it. Capabilities into a region
+	// only ever flow to fork descendants (through shared pages pending
+	// relocation), so a child that never forked leaves no references
+	// behind; its region returns to the size-class free list. Only
+	// meaningful in the single address space — the multi-AS baselines
+	// give every process the same virtual range.
+	if k.Machine.SingleAddressSpace && p.Parent != nil && p.Forked == 0 {
+		k.Regions.release(p.Region)
+	}
+	if p.Parent != nil && !p.Parent.exited {
+		k.notifyChild(p.Parent)
+		p.Parent.childExit.WakeAll(p.Task, p.Task.Now())
+	} else {
+		// No parent to reap us: self-reap.
+		delete(k.procs, p.PID)
+	}
+}
+
+// allocPID hands out the next process ID. The PID lives in kernel memory a
+// μprocess cannot modify (§3.5 step 2).
+func (k *Kernel) allocPID() PID {
+	pid := k.next
+	k.next++
+	return pid
+}

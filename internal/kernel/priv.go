@@ -1,0 +1,96 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ufork/internal/cap"
+	"ufork/internal/sim"
+)
+
+// ErrPrivileged is returned when user code attempts a privileged operation
+// without the CHERI system permission.
+var ErrPrivileged = fmt.Errorf("kernel: privileged instruction from unprivileged capability")
+
+// PrivilegedOp models executing a system instruction (MSR/MRS on Morello).
+// The SASOS runs μprocesses and the kernel at the same exception level, so
+// the only thing standing between user code and, say, rewriting the
+// exception vector is the CHERI system-permission bit on the executing
+// PCC: μprocess capabilities never carry it (§4.4, principle 2).
+func (k *Kernel) PrivilegedOp(p *Proc, op string) error {
+	if !p.PCC.HasPerm(cap.PermSystem) {
+		return fmt.Errorf("%w: %s", ErrPrivileged, op)
+	}
+	return nil
+}
+
+// Kill terminates the process with the given PID (a minimal SIGKILL).
+// POSIX permission checks reduce to: a μprocess may kill itself or its
+// descendants.
+func (k *Kernel) Kill(p *Proc, pid PID) error {
+	k.enter(p, 0)
+	defer k.leave(p)
+	target, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoProc, pid)
+	}
+	if target == p {
+		k.leave(p)
+		panic(exitPanic{137})
+	}
+	if !descendantOf(target, p) {
+		return fmt.Errorf("kernel: pid %d is not a descendant of %d", pid, p.PID)
+	}
+	if target.exited {
+		return nil
+	}
+	// Terminate the victim: mark it and let its next kernel entry unwind.
+	// The simulation cannot interrupt a task asynchronously, so the kill
+	// lands at the victim's next syscall — the same visibility a signal
+	// has on a kernel that only delivers at the user/kernel boundary.
+	target.killed = true
+	return nil
+}
+
+// descendantOf reports whether c is a (transitive) child of p.
+func descendantOf(c, p *Proc) bool {
+	for cur := c.Parent; cur != nil; cur = cur.Parent {
+		if cur == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkKilled unwinds the calling process if a kill is pending; invoked on
+// every kernel entry.
+func (k *Kernel) checkKilled(p *Proc) {
+	if p.killed {
+		p.killed = false
+		panic(exitPanic{137})
+	}
+}
+
+// PosixSpawn implements the fork+exec pattern (U1) the way modern SASOSes
+// do (§2.3): the new program image is loaded at a fresh location of the
+// address space — no state duplication, no relocation. The child inherits
+// the parent's descriptor table (as posix_spawn file actions default to).
+func (k *Kernel) PosixSpawn(p *Proc, spec ProgramSpec, entry func(*Proc)) (PID, error) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	child, err := k.load(spec)
+	if err != nil {
+		return 0, err
+	}
+	// Re-parent under the spawner and inherit descriptors.
+	child.Parent = p
+	p.children = append(p.children, child)
+	child.FDs.CloseAll(k, child)
+	child.FDs = p.FDs.Dup()
+	// Spawn cost: image mapping dominates; no page copies, no relocation.
+	latency := k.Machine.ForkFixed +
+		sim.Time(child.Layout.Total)*k.Machine.PTECopy +
+		sim.Time(child.FDs.Len())*k.Machine.FDDup
+	p.Task.Advance(latency)
+	k.startProc(child, p.Task.Now(), entry)
+	return child.PID, nil
+}

@@ -1,0 +1,240 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"ufork/internal/cap"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+)
+
+// TestPrivilegedInstructionsGated covers §4.4 principle 2: μprocesses run
+// at the kernel's exception level, but their PCC lacks the CHERI system
+// permission, so system instructions are refused; kernel-minted
+// capabilities with the permission pass.
+func TestPrivilegedInstructionsGated(t *testing.T) {
+	k := newKernel(1, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		if err := k.PrivilegedOp(p, "msr vbar_el1"); !errors.Is(err, kernel.ErrPrivileged) {
+			t.Errorf("privileged op from user PCC: %v, want refusal", err)
+		}
+		// Even a forked child's relocated PCC must not gain the permission.
+		_, err := k.Fork(p, func(c *kernel.Proc) {
+			if err := k.PrivilegedOp(c, "mrs ttbr0_el1"); !errors.Is(err, kernel.ErrPrivileged) {
+				t.Errorf("privileged op from child PCC: %v", err)
+			}
+			if c.PCC.HasPerm(cap.PermSystem) {
+				t.Error("child PCC carries PermSystem")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := k.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestKillChild(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		rfd, wfd, err := k.Pipe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid, err := k.Fork(p, func(c *kernel.Proc) {
+			// Signal readiness, then loop making syscalls forever: the
+			// kill lands at a kernel entry.
+			if _, err := k.Write(c, wfd, []byte{1}); err != nil {
+				return
+			}
+			for {
+				k.Getpid(c)
+				c.Compute(1000)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := k.Read(p, rfd, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Kill(p, pid); err != nil {
+			t.Fatalf("kill: %v", err)
+		}
+		gotPID, status, err := k.Wait(p)
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+		if gotPID != pid || status != 137 {
+			t.Errorf("reaped pid=%d status=%d, want pid=%d status=137", gotPID, status, pid)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestKillRequiresDescendant(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		if err := k.Kill(p, kernel.PID(9999)); !errors.Is(err, kernel.ErrNoProc) {
+			t.Errorf("kill missing pid: %v", err)
+		}
+		// A child cannot kill its parent.
+		_, err := k.Fork(p, func(c *kernel.Proc) {
+			if err := k.Kill(c, p.PID); err == nil {
+				t.Error("child killed its parent")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := k.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestPosixSpawn(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		// Parent state that a *fork* child would inherit.
+		if err := p.Store(p.HeapCap, 0, []byte("parent-data")); err != nil {
+			t.Fatal(err)
+		}
+		fd, err := k.Open(p, "/spawn-shared", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid, err := k.PosixSpawn(p, kernel.HelloWorldSpec(), func(c *kernel.Proc) {
+			// A spawned image starts fresh: no copied parent memory.
+			buf := make([]byte, 11)
+			if err := c.Load(c.HeapCap, 0, buf); err != nil {
+				t.Errorf("spawn child load: %v", err)
+				return
+			}
+			if string(buf) == "parent-data" {
+				t.Error("posix_spawn child inherited parent memory")
+			}
+			if c.Region.Base == p.Region.Base {
+				t.Error("spawn child shares the parent's region")
+			}
+			// But it inherits descriptors.
+			if _, err := k.Write(c, fd, []byte("from-spawned")); err != nil {
+				t.Errorf("spawn child write: %v", err)
+			}
+		})
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		got, status, err := k.Wait(p)
+		if err != nil || got != pid || status != 0 {
+			t.Fatalf("wait: pid=%d status=%d err=%v", got, status, err)
+		}
+		ino, _ := k.VFS().Lookup("/spawn-shared")
+		if string(ino.Data) != "from-spawned" {
+			t.Errorf("file = %q", ino.Data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestFsyncCharges(t *testing.T) {
+	k := newKernel(1, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		fd, err := k.Open(p, "/f", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.Now()
+		if err := k.Fsync(p, fd); err != nil {
+			t.Fatal(err)
+		}
+		if p.Now()-t0 < k.Machine.FSSync {
+			t.Errorf("fsync cost %v below FSSync %v", p.Now()-t0, k.Machine.FSSync)
+		}
+		if err := k.Fsync(p, 42); err == nil {
+			t.Error("fsync of bad fd succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+// TestASLRRandomizesRegions covers the §3.7 extension: with ASLR enabled,
+// region bases are displaced per kernel seed, and relocation still works.
+func TestASLRRandomizesRegions(t *testing.T) {
+	bases := func(seed int64) []uint64 {
+		k := kernel.New(kernel.Config{
+			Machine:   model.UFork(2),
+			Engine:    core.New(core.CopyOnPointerAccess),
+			Isolation: kernel.IsolationFull,
+			Frames:    1 << 14,
+			ASLRSeed:  seed,
+		})
+		var out []uint64
+		if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+			out = append(out, p.Region.Base)
+			if err := p.Store(p.HeapCap, 0, []byte("aslr")); err != nil {
+				t.Error(err)
+				return
+			}
+			_, err := k.Fork(p, func(c *kernel.Proc) {
+				out = append(out, c.Region.Base)
+				buf := make([]byte, 4)
+				if err := c.Load(c.HeapCap, 0, buf); err != nil {
+					t.Errorf("child load under ASLR: %v", err)
+					return
+				}
+				if string(buf) != "aslr" {
+					t.Errorf("child sees %q", buf)
+				}
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return out
+	}
+	a := bases(1)
+	b := bases(2)
+	c := bases(1)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("missing bases: %v %v", a, b)
+	}
+	if a[0] == b[0] && a[1] == b[1] {
+		t.Error("different seeds produced identical layouts")
+	}
+	if a[0] != c[0] || a[1] != c[1] {
+		t.Error("same seed not reproducible")
+	}
+	if a[0]%kernel.PageSize != 0 {
+		t.Errorf("ASLR base %#x not page aligned", a[0])
+	}
+}

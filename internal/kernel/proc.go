@@ -1,0 +1,268 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ufork/internal/cap"
+	"ufork/internal/sim"
+	"ufork/internal/tmem"
+	"ufork/internal/vm"
+)
+
+// NumRegs is the size of the capability register file μFork relocates at
+// fork (§3.5 step 2: "any absolute memory references contained in
+// registers are relocated").
+const NumRegs = 16
+
+// Proc is one μprocess (or baseline process).
+type Proc struct {
+	k    *Kernel
+	PID  PID
+	Spec ProgramSpec
+	// Layout is the image layout shared by parent and all descendants.
+	Layout Layout
+	// AS is the address space: the kernel-shared one on single-address-
+	// space machines, private otherwise.
+	AS *vm.AddressSpace
+	// Region is the contiguous virtual range this μprocess owns (Fig. 1).
+	Region Region
+	// Task is the simulation thread running the process.
+	Task *sim.Task
+
+	// Capability register file. Regs are general-purpose capability
+	// registers the program may stash pointers in across a fork; the named
+	// capabilities are the ABI registers.
+	Regs       [NumRegs]cap.Capability
+	DDC        cap.Capability // default data capability (region bounds)
+	PCC        cap.Capability // program counter capability (text)
+	StackCap   cap.Capability
+	HeapCap    cap.Capability
+	GOTCap     cap.Capability
+	MetaCap    cap.Capability // allocator metadata segment
+	DataCap    cap.Capability
+	TLSCap     cap.Capability
+	SyscallCap cap.Capability // sealed kernel entry sentry
+
+	FDs *FDTable
+
+	Parent    *Proc
+	children  []*Proc
+	childExit sim.WaitQueue
+
+	// OriginBase is the region base the process image's un-relocated
+	// content refers to (the parent's region at fork time); equal to
+	// Region.Base for a freshly loaded image.
+	OriginBase uint64
+
+	// Pending tracks region offsets (in pages) whose frames still hold
+	// ancestor-region capabilities and need relocation when privatised.
+	// Maintained by the μFork engine.
+	Pending map[vm.VPN]bool
+
+	exited     bool
+	exitStatus int
+	killed     bool
+	sig        sigState
+
+	// BrkPages tracks how many heap pages the program has asked for via
+	// Sbrk; used by the demand-paged baseline heap accounting.
+	BrkPages int
+
+	// Forked counts forks performed by this process.
+	Forked int
+	// LastFork holds the statistics of the most recent fork this process
+	// performed; the benchmark harness reads it for latency accounting.
+	LastFork ForkStats
+}
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Exited reports whether the process has terminated.
+func (p *Proc) Exited() bool { return p.exited }
+
+// ExitStatus returns the exit status (valid once Exited).
+func (p *Proc) ExitStatus() int { return p.exitStatus }
+
+// Children returns the live children (for tests).
+func (p *Proc) Children() []*Proc { return p.children }
+
+// permForAccess maps a VM access kind to the capability permissions it
+// requires.
+func permForAccess(acc vm.Access) cap.Perm {
+	switch acc {
+	case vm.AccRead:
+		return cap.PermLoad
+	case vm.AccWrite:
+		return cap.PermStore
+	case vm.AccCapRead:
+		return cap.PermLoad | cap.PermLoadCap
+	case vm.AccCapWrite:
+		return cap.PermStore | cap.PermStoreCap
+	case vm.AccExec:
+		return cap.PermExecute
+	default:
+		return 0
+	}
+}
+
+// translate resolves va for the access, invoking the fork engine's fault
+// handler (CoW / CoA / CoPA resolution) as needed.
+func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		pfn, off, fault := p.AS.Translate(va, acc)
+		if fault == nil {
+			return pfn, off, nil
+		}
+		p.k.Stats.PageFaults++
+		// Taking the fault costs a trap + handler dispatch.
+		p.Task.Advance(p.k.Machine.PageFault)
+		if err := p.k.Engine.HandleFault(p.k, p, fault, acc); err != nil {
+			return tmem.NoFrame, 0, fmt.Errorf("%w: %v", ErrSegfault, err)
+		}
+	}
+	return tmem.NoFrame, 0, fmt.Errorf("%w: fault loop at %#x", ErrSegfault, va)
+}
+
+// checkCap performs the CHERI dereference check unless the capability
+// system has been configured away.
+func (p *Proc) checkCap(c cap.Capability, va, n uint64, acc vm.Access) error {
+	if err := c.CheckDeref(va, n, permForAccess(acc)); err != nil {
+		return fmt.Errorf("%w: %v", ErrCapFault, err)
+	}
+	return nil
+}
+
+// Load reads len(buf) bytes through capability c at byte offset off from
+// the capability's cursor.
+func (p *Proc) Load(c cap.Capability, off uint64, buf []byte) error {
+	return p.rw(c, off, buf, vm.AccRead)
+}
+
+// Store writes buf through capability c at byte offset off.
+func (p *Proc) Store(c cap.Capability, off uint64, buf []byte) error {
+	return p.rw(c, off, buf, vm.AccWrite)
+}
+
+func (p *Proc) rw(c cap.Capability, off uint64, buf []byte, acc vm.Access) error {
+	va := c.Addr() + off
+	n := uint64(len(buf))
+	if err := p.checkCap(c, va, n, acc); err != nil {
+		return err
+	}
+	done := uint64(0)
+	for done < n {
+		cur := va + done
+		chunk := PageSize - vm.PageOff(cur)
+		if chunk > n-done {
+			chunk = n - done
+		}
+		pfn, poff, err := p.translate(cur, acc)
+		if err != nil {
+			return err
+		}
+		if acc == vm.AccRead {
+			if err := p.k.Mem.ReadBytes(pfn, poff, buf[done:done+chunk]); err != nil {
+				return err
+			}
+		} else {
+			if err := p.k.Mem.WriteBytes(pfn, poff, buf[done:done+chunk]); err != nil {
+				return err
+			}
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// LoadU64 reads a 64-bit little-endian value.
+func (p *Proc) LoadU64(c cap.Capability, off uint64) (uint64, error) {
+	var b [8]byte
+	if err := p.Load(c, off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// StoreU64 writes a 64-bit little-endian value.
+func (p *Proc) StoreU64(c cap.Capability, off uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return p.Store(c, off, b[:])
+}
+
+// LoadCap loads a capability through c at offset off. On CoPA pages this
+// is the access that triggers the copy-and-relocate fault (§3.8).
+func (p *Proc) LoadCap(c cap.Capability, off uint64) (cap.Capability, error) {
+	va := c.Addr() + off
+	if err := p.checkCap(c, va, cap.GranuleSize, vm.AccCapRead); err != nil {
+		return cap.Null(), err
+	}
+	pfn, poff, err := p.translate(va, vm.AccCapRead)
+	if err != nil {
+		return cap.Null(), err
+	}
+	return p.k.Mem.LoadCap(pfn, poff)
+}
+
+// StoreCap stores capability v through c at offset off.
+func (p *Proc) StoreCap(c cap.Capability, off uint64, v cap.Capability) error {
+	va := c.Addr() + off
+	if err := p.checkCap(c, va, cap.GranuleSize, vm.AccCapWrite); err != nil {
+		return err
+	}
+	pfn, poff, err := p.translate(va, vm.AccCapWrite)
+	if err != nil {
+		return err
+	}
+	return p.k.Mem.StoreCap(pfn, poff, v)
+}
+
+// FetchCode models instruction fetch at the PCC cursor (used by tests to
+// demonstrate execute permissions).
+func (p *Proc) FetchCode(off uint64) error {
+	va := p.PCC.Addr() + off
+	if err := p.checkCap(p.PCC, va, 4, vm.AccExec); err != nil {
+		return err
+	}
+	_, _, err := p.translate(va, vm.AccExec)
+	return err
+}
+
+// Compute books d nanoseconds of CPU work for the process.
+func (p *Proc) Compute(d sim.Time) { p.Task.Work(d) }
+
+// Now returns the process's virtual clock.
+func (p *Proc) Now() sim.Time { return p.Task.Now() }
+
+// SegCap derives a fresh capability over one of the process's segments.
+func (p *Proc) SegCap(s Segment) cap.Capability {
+	switch s {
+	case SegStack:
+		return p.StackCap
+	case SegHeap:
+		return p.HeapCap
+	case SegGOT:
+		return p.GOTCap
+	case SegAllocMeta:
+		return p.MetaCap
+	case SegData:
+		return p.DataCap
+	case SegTLS:
+		return p.TLSCap
+	default:
+		return deriveSeg(p.DDC, p, s)
+	}
+}
+
+// Usage returns the memory occupancy of the process's region.
+func (p *Proc) Usage() vm.RegionUsage {
+	return p.AS.Usage(p.Region.Base, p.Region.Size)
+}
+
+// GOTLoad reads GOT entry i the way PIC code does: a capability load from
+// the table. After fork this must observe a child-region target.
+func (p *Proc) GOTLoad(i int) (cap.Capability, error) {
+	return p.LoadCap(p.GOTCap, uint64(i)*cap.GranuleSize)
+}

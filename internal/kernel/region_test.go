@@ -1,0 +1,142 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"ufork/internal/baseline/posix"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+)
+
+// TestRegionReuseBoundsVASpace covers the §6 fragmentation mitigation: a
+// long-running fork+exit loop must not consume virtual address space
+// proportionally to the number of forks — exited leaf children return
+// their regions to the size-class free list.
+func TestRegionReuseBoundsVASpace(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	var before, after uint64
+	var reused uint64
+	if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		before = k.Regions.VASpaceUsed()
+		for i := 0; i < 200; i++ {
+			if _, err := k.Fork(p, func(c *kernel.Proc) {
+				if err := c.Store(c.HeapCap, 0, []byte("leaf")); err != nil {
+					t.Error(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after = k.Regions.VASpaceUsed()
+		reused = k.Regions.Reused
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	// 200 forks at 256 MiB alignment would burn 50 GiB of VA without
+	// reuse; with reuse only the first child's region is ever minted.
+	if after-before > 1<<29 {
+		t.Fatalf("VA space grew by %d bytes over 200 forks; reuse broken", after-before)
+	}
+	if reused < 190 {
+		t.Fatalf("only %d regions reused", reused)
+	}
+}
+
+// TestRegionNotReusedWhileReferenced: a child that itself forked may have
+// leaked capabilities to its own descendants, so its region must NOT be
+// recycled.
+func TestRegionNotReusedWhileReferenced(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		reusedBefore := k.Regions.Reused
+		_, err := k.Fork(p, func(c *kernel.Proc) {
+			// The child forks a grandchild that outlives it, still holding
+			// pending pages whose capabilities reference the child region.
+			tgt, err := c.HeapCap.SetAddr(c.HeapCap.Base() + 4096).SetBounds(32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.Store(tgt, 0, []byte("deep")); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.StoreCap(c.HeapCap, 0, tgt); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := k.Fork(c, func(g *kernel.Proc) {
+				// Touch the pointer only after the parent (the middle
+				// generation) has exited: relocation must still resolve
+				// against the (unrecycled) middle region.
+				ptr, err := g.LoadCap(g.HeapCap, 0)
+				if err != nil {
+					t.Errorf("grandchild cap load: %v", err)
+					return
+				}
+				if !g.Region.Contains(ptr.Addr()) {
+					t.Errorf("grandchild pointer outside own region: %v", ptr)
+					return
+				}
+				buf := make([]byte, 4)
+				if err := g.Load(ptr, 0, buf); err != nil {
+					t.Errorf("grandchild deref: %v", err)
+					return
+				}
+				if string(buf) != "deep" {
+					t.Errorf("grandchild read %q", buf)
+				}
+			}); err != nil {
+				t.Error(err)
+			}
+			// Exit WITHOUT waiting: the grandchild is re-parented logic-
+			// free (still in our children list), and we exit first.
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reap the middle child; the grandchild keeps running.
+		if _, _, err := k.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		// The middle child forked, so its region must not have been
+		// recycled (Forked > 0).
+		if k.Regions.Reused != reusedBefore {
+			t.Fatalf("a forking child's region was recycled")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+// TestPosixRegionsNeverReleased: the multi-AS baseline reuses the same
+// virtual range for every process; releasing it would corrupt siblings.
+func TestPosixRegionsNeverReleased(t *testing.T) {
+	k := kernel.New(kernel.Config{
+		Machine:   model.Posix(2),
+		Engine:    posix.New(),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 14,
+	})
+	if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		for i := 0; i < 5; i++ {
+			if _, err := k.Fork(p, func(c *kernel.Proc) {}); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if k.Regions.Reused != 0 {
+			t.Fatalf("posix recycled %d regions", k.Regions.Reused)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}

@@ -1,0 +1,86 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ufork/internal/vm"
+)
+
+// ShmObject is a named shared-memory object. Per §3.7, shm_open returns a
+// descriptor representing an area of shared memory, and mapping it installs
+// the same physical pages into the virtual address region of each
+// participating μprocess.
+type ShmObject struct {
+	Name  string
+	pages []*vm.Page
+}
+
+// shmRegistry lives on the kernel.
+type shmRegistry struct {
+	objects map[string]*ShmObject
+}
+
+// ShmOpen creates or opens a named shared-memory object of the given size
+// (rounded up to whole pages on creation).
+func (k *Kernel) ShmOpen(p *Proc, name string, pages int) (*ShmObject, error) {
+	k.enter(p, len(name))
+	defer k.leave(p)
+	if k.shm.objects == nil {
+		k.shm.objects = make(map[string]*ShmObject)
+	}
+	if obj, ok := k.shm.objects[name]; ok {
+		return obj, nil
+	}
+	obj := &ShmObject{Name: name}
+	for i := 0; i < pages; i++ {
+		pfn, err := k.Mem.AllocFrame()
+		if err != nil {
+			return nil, err
+		}
+		obj.pages = append(obj.pages, &vm.Page{PFN: pfn})
+	}
+	k.shm.objects[name] = obj
+	return obj, nil
+}
+
+// ShmMap maps the object's pages read-write at byte offset off within the
+// caller's heap segment, returning a capability over the mapping. The same
+// physical frames become visible to every mapper — shared memory across
+// μprocesses inside the single address space.
+func (k *Kernel) ShmMap(p *Proc, obj *ShmObject, off uint64) (mapped uint64, err error) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	base := p.Layout.SegBase(p.Region.Base, SegHeap) + off
+	if base%PageSize != 0 {
+		return 0, fmt.Errorf("kernel: shm map offset %#x not page aligned", off)
+	}
+	for i, page := range obj.pages {
+		va := base + uint64(i)*PageSize
+		vpn := vm.VPNOf(va)
+		// Replace the heap page with the shared frame.
+		if p.AS.Lookup(vpn) != nil {
+			if err := p.AS.Unmap(vpn); err != nil {
+				return 0, err
+			}
+		}
+		if err := p.AS.Map(vpn, page, vm.ProtRW); err != nil {
+			return 0, err
+		}
+		// Shared mappings are exempt from copy-on-fork bookkeeping.
+		if p.Pending != nil {
+			delete(p.Pending, vpn)
+		}
+	}
+	return base, nil
+}
+
+// ShmUnlink removes the name; frames die with the last mapping.
+func (k *Kernel) ShmUnlink(p *Proc, name string) error {
+	k.enter(p, len(name))
+	defer k.leave(p)
+	if _, ok := k.shm.objects[name]; !ok {
+		return fmt.Errorf("%w: shm %s", ErrNoEnt, name)
+	}
+	delete(k.shm.objects, name)
+	return nil
+}

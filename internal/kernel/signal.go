@@ -1,0 +1,107 @@
+package kernel
+
+import "fmt"
+
+// Signal numbers (the POSIX subset the workloads use).
+type Signal int
+
+// Supported signals.
+const (
+	// SIGTERM requests termination; catchable.
+	SIGTERM Signal = 15
+	// SIGKILL terminates unconditionally; never catchable.
+	SIGKILL Signal = 9
+	// SIGUSR1 is application-defined; catchable.
+	SIGUSR1 Signal = 10
+	// SIGCHLD notifies a parent of child termination; default ignored.
+	SIGCHLD Signal = 17
+)
+
+// SigHandler is a registered signal handler. Handlers run on the target
+// process's own task at its next kernel entry — the delivery point a
+// kernel that only interrupts at the user/kernel boundary provides.
+type SigHandler func(p *Proc, sig Signal)
+
+// sigState is the per-process signal bookkeeping (§4.5 "per-process
+// kernel state": signals are among the state unikernels must grow for
+// multiprocessing).
+type sigState struct {
+	handlers map[Signal]SigHandler
+	pending  []Signal
+}
+
+// Sigaction registers (or, with a nil handler, resets) the disposition of
+// sig for the calling process. SIGKILL cannot be caught.
+func (k *Kernel) Sigaction(p *Proc, sig Signal, h SigHandler) error {
+	k.enter(p, 0)
+	defer k.leave(p)
+	if sig == SIGKILL {
+		return fmt.Errorf("kernel: SIGKILL cannot be caught")
+	}
+	if p.sig.handlers == nil {
+		p.sig.handlers = make(map[Signal]SigHandler)
+	}
+	if h == nil {
+		delete(p.sig.handlers, sig)
+		return nil
+	}
+	p.sig.handlers[sig] = h
+	return nil
+}
+
+// SignalPID queues sig for the target process. Permission model as Kill:
+// self or descendants.
+func (k *Kernel) SignalPID(p *Proc, pid PID, sig Signal) error {
+	k.enter(p, 0)
+	defer k.leave(p)
+	target, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoProc, pid)
+	}
+	if target != p && !descendantOf(target, p) {
+		return fmt.Errorf("kernel: pid %d is not a descendant of %d", pid, p.PID)
+	}
+	if target.exited {
+		return nil
+	}
+	if sig == SIGKILL {
+		target.killed = true
+		return nil
+	}
+	target.sig.pending = append(target.sig.pending, sig)
+	return nil
+}
+
+// deliverSignals runs pending handlers (or default actions) for p. Called
+// at kernel entry, after the kill check.
+func (k *Kernel) deliverSignals(p *Proc) {
+	for len(p.sig.pending) > 0 {
+		sig := p.sig.pending[0]
+		p.sig.pending = p.sig.pending[1:]
+		if h, ok := p.sig.handlers[sig]; ok {
+			// Handler runs on the process's own task context.
+			p.Task.Advance(k.Machine.CtxSwitch) // signal frame setup/teardown
+			h(p, sig)
+			continue
+		}
+		// Default actions.
+		switch sig {
+		case SIGTERM:
+			panic(exitPanic{128 + int(SIGTERM)})
+		case SIGCHLD, SIGUSR1:
+			// SIGCHLD default-ignores; uncaught SIGUSR1 terminates in
+			// POSIX, but the workloads treat it as a notification — we
+			// follow POSIX:
+			if sig == SIGUSR1 {
+				panic(exitPanic{128 + int(SIGUSR1)})
+			}
+		}
+	}
+}
+
+// notifyChild queues SIGCHLD for a parent whose child terminated.
+func (k *Kernel) notifyChild(parent *Proc) {
+	if parent.sig.handlers[SIGCHLD] != nil {
+		parent.sig.pending = append(parent.sig.pending, SIGCHLD)
+	}
+}

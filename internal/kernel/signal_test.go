@@ -1,0 +1,135 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"ufork/internal/kernel"
+)
+
+func TestSignalHandlerRuns(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		rfd, wfd, err := k.Pipe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid, err := k.Fork(p, func(c *kernel.Proc) {
+			got := kernel.Signal(0)
+			if err := k.Sigaction(c, kernel.SIGUSR1, func(cp *kernel.Proc, s kernel.Signal) {
+				got = s
+			}); err != nil {
+				t.Errorf("sigaction: %v", err)
+				return
+			}
+			// Ready; then loop on syscalls until the signal lands.
+			if _, err := k.Write(c, wfd, []byte{1}); err != nil {
+				return
+			}
+			for i := 0; i < 1000 && got == 0; i++ {
+				k.Getpid(c)
+				c.Compute(500)
+			}
+			if got != kernel.SIGUSR1 {
+				k.Exit(c, 1)
+			}
+			k.Exit(c, 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Read(p, rfd, make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SignalPID(p, pid, kernel.SIGUSR1); err != nil {
+			t.Fatalf("signal: %v", err)
+		}
+		_, status, err := k.Wait(p)
+		if err != nil || status != 0 {
+			t.Fatalf("child status %d err %v: handler did not run", status, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestDefaultSIGTERMTerminates(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		rfd, wfd, err := k.Pipe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pid, err := k.Fork(p, func(c *kernel.Proc) {
+			if _, err := k.Write(c, wfd, []byte{1}); err != nil {
+				return
+			}
+			for {
+				k.Getpid(c)
+				c.Compute(500)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Read(p, rfd, make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SignalPID(p, pid, kernel.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		_, status, err := k.Wait(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != 128+int(kernel.SIGTERM) {
+			t.Fatalf("status = %d, want %d", status, 128+int(kernel.SIGTERM))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestSIGKILLUncatchable(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		if err := k.Sigaction(p, kernel.SIGKILL, func(*kernel.Proc, kernel.Signal) {}); err == nil {
+			t.Error("SIGKILL handler registration should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+func TestSIGCHLDDelivered(t *testing.T) {
+	k := newKernel(2, kernel.IsolationFull)
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		gotChld := false
+		if err := k.Sigaction(p, kernel.SIGCHLD, func(*kernel.Proc, kernel.Signal) {
+			gotChld = true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Fork(p, func(c *kernel.Proc) {}); err != nil {
+			t.Fatal(err)
+		}
+		// Wait reaps; by then the SIGCHLD has been queued and is
+		// delivered at the wait syscall's kernel entry (or the next one).
+		if _, _, err := k.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		k.Getpid(p)
+		if !gotChld {
+			t.Error("SIGCHLD handler never ran")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}

@@ -1,0 +1,297 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ufork/internal/cap"
+	"ufork/internal/sim"
+)
+
+// enter charges the user→kernel transition and the isolation-dependent
+// checks, then serializes on the big kernel lock where the machine model
+// requires it (§4.4, §4.5). bufBytes is the total size of user buffers the
+// call passes by reference; under IsolationFull they are copied to kernel
+// memory before use (TOCTTOU protection, §4.4 principle 4).
+func (k *Kernel) enter(p *Proc, bufBytes int) {
+	t := p.Task
+	k.Stats.Syscalls++
+	// Pending kills and signals are delivered at kernel entry.
+	k.checkKilled(p)
+	k.deliverSignals(p)
+	if k.Machine.TrapSyscalls {
+		// Monolithic path: hardware trap into the kernel.
+		t.Advance(k.Machine.SyscallEnter)
+	} else {
+		// SASOS path: invoke the sealed kernel entry capability. The
+		// sentry check is the real mechanism, not just a cost (§4.4).
+		if _, err := p.SyscallCap.InvokeSentry(); err != nil {
+			panic("kernel: syscall without valid sentry: " + err.Error())
+		}
+		t.Advance(k.Machine.SyscallEnter)
+	}
+	if k.Iso >= IsolationFault {
+		t.Advance(k.Machine.ArgValidate)
+	}
+	if k.Iso == IsolationFull && bufBytes > 0 {
+		// Bounce-buffer setup plus copy-in/copy-out at memcpy bandwidth.
+		// The copy is CPU work, so it occupies a core.
+		t.Book(k.Machine.TocttouFixed + sim.Time(bufBytes/k.Machine.TocttouBytesPerNs) + 1)
+	}
+	if k.Machine.BigKernelLock {
+		k.bkl.Lock(t)
+	} else {
+		t.Sync()
+	}
+	t.Advance(k.Machine.SyscallBase)
+}
+
+// chargeSwitch bills one scheduler context switch to p: register state,
+// run-queue work, and — on multi-address-space machines — the page-table
+// switch with its TLB/cache maintenance (§2.2). Switches occupy the CPU,
+// so they are booked on a core rather than merely advancing the clock.
+func (k *Kernel) chargeSwitch(p *Proc) {
+	p.Task.Book(k.Machine.CtxSwitch)
+	k.Stats.CtxSwitches++
+}
+
+// exit charges the kernel→user transition and releases the big kernel
+// lock.
+func (k *Kernel) leave(p *Proc) {
+	if k.Machine.BigKernelLock {
+		k.bkl.Unlock(p.Task)
+	}
+	p.Task.Advance(k.Machine.SyscallExit)
+}
+
+// Getpid returns the caller's process ID.
+func (k *Kernel) Getpid(p *Proc) PID {
+	k.enter(p, 0)
+	defer k.leave(p)
+	return p.PID
+}
+
+// Yield gives up the CPU.
+func (k *Kernel) Yield(p *Proc) {
+	k.enter(p, 0)
+	k.leave(p)
+	p.Task.Sync()
+}
+
+// Exit terminates the calling process with the given status. It does not
+// return: the entry function unwinds via panic, recovered by the kernel.
+func (k *Kernel) Exit(p *Proc, status int) {
+	k.enter(p, 0)
+	k.leave(p)
+	panic(exitPanic{status})
+}
+
+// Fork duplicates the calling process. childEntry runs as the child's
+// continuation: Go cannot return twice from one call, so the child's
+// post-fork control flow is expressed as a closure. The child observes
+// only its own Proc — whose capability register file the fork engine has
+// relocated (§3.5 step 2) — so transparency at the memory level is
+// preserved.
+func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	k.Stats.Forks++
+	p.Forked++
+
+	child := &Proc{
+		k:          k,
+		PID:        k.allocPID(),
+		Spec:       p.Spec,
+		Layout:     p.Layout,
+		Parent:     p,
+		OriginBase: p.Region.Base,
+		BrkPages:   p.BrkPages,
+	}
+	stats, err := k.Engine.Fork(k, p, child)
+	if err != nil {
+		return 0, err
+	}
+	// Kernel-side duplication common to every engine: descriptor table and
+	// task struct (§4.5 "per-process kernel state").
+	child.FDs = p.FDs.Dup()
+	stats.Latency += sim.Time(child.FDs.Len()) * k.Machine.FDDup
+	stats.Latency += k.Machine.ForkFixed
+
+	k.procs[child.PID] = child
+	p.children = append(p.children, child)
+
+	// The fork call's latency is charged to the parent; the child begins
+	// at the moment fork completes, exactly like the paper's latency
+	// metric ("time needed for the fork call to complete", §5.1).
+	p.Task.Advance(stats.Latency)
+	p.LastFork = stats
+	k.startProc(child, p.Task.Now(), childEntry)
+	return child.PID, nil
+}
+
+// Wait blocks until one child has exited, reaps it, and returns its PID
+// and exit status.
+func (k *Kernel) Wait(p *Proc) (PID, int, error) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	for {
+		if len(p.children) == 0 {
+			return 0, 0, ErrNoChildren
+		}
+		for i, c := range p.children {
+			if c.exited {
+				p.children = append(p.children[:i], p.children[i+1:]...)
+				delete(k.procs, c.PID)
+				return c.PID, c.exitStatus, nil
+			}
+		}
+		p.childExit.Wait(p.Task)
+	}
+}
+
+// Open opens (or with create, creates) a ram-disk file.
+func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
+	k.enter(p, len(name))
+	defer k.leave(p)
+	ino, ok := k.vfs.Lookup(name)
+	if !ok {
+		if !create {
+			return -1, fmt.Errorf("%w: %s", ErrNoEnt, name)
+		}
+		ino = k.vfs.Create(name)
+	} else if create {
+		ino.Data = nil // truncate
+	}
+	return p.FDs.Install(&OpenFile{File: &regularFile{ino: ino}}), nil
+}
+
+// Close closes a descriptor.
+func (k *Kernel) Close(p *Proc, fd int) error {
+	k.enter(p, 0)
+	defer k.leave(p)
+	return p.FDs.Close(k, p, fd)
+}
+
+// Write writes buf to fd. The data crosses the user/kernel boundary, so
+// under IsolationFull it is TOCTTOU-copied first (cost charged by enter).
+func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
+	k.enter(p, len(buf))
+	defer k.leave(p)
+	of, err := p.FDs.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	if rf, ok := of.File.(*regularFile); ok {
+		n := rf.writeAt(k, p, of.Offset, buf)
+		of.Offset += uint64(n)
+		return n, nil
+	}
+	return of.File.Write(k, p, buf)
+}
+
+// Read reads up to len(buf) bytes from fd.
+func (k *Kernel) Read(p *Proc, fd int, buf []byte) (int, error) {
+	k.enter(p, len(buf))
+	defer k.leave(p)
+	of, err := p.FDs.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	if rf, ok := of.File.(*regularFile); ok {
+		n := rf.readAt(k, p, of.Offset, buf)
+		of.Offset += uint64(n)
+		return n, nil
+	}
+	return of.File.Read(k, p, buf)
+}
+
+// WriteVM writes n bytes from user memory (through capability c) to fd:
+// the common write(fd, ptr, n) shape. The kernel performs the copy-in
+// itself, so the data actually flows through simulated memory.
+func (k *Kernel) WriteVM(p *Proc, fd int, c cap.Capability, off, n uint64) (int, error) {
+	buf := make([]byte, n)
+	if err := p.Load(c, off, buf); err != nil {
+		return 0, err
+	}
+	return k.Write(p, fd, buf)
+}
+
+// ReadVM reads up to n bytes from fd into user memory at capability c.
+func (k *Kernel) ReadVM(p *Proc, fd int, c cap.Capability, off, n uint64) (int, error) {
+	buf := make([]byte, n)
+	got, err := k.Read(p, fd, buf)
+	if err != nil {
+		return 0, err
+	}
+	if got > 0 {
+		if err := p.Store(c, off, buf[:got]); err != nil {
+			return 0, err
+		}
+	}
+	return got, nil
+}
+
+// Fsync flushes a file to stable storage: the fixed finalisation cost of
+// a snapshot (temp-file rename, metadata flush).
+func (k *Kernel) Fsync(p *Proc, fd int) error {
+	k.enter(p, 0)
+	defer k.leave(p)
+	if _, err := p.FDs.Get(fd); err != nil {
+		return err
+	}
+	p.Task.Advance(k.Machine.FSSync)
+	return nil
+}
+
+// Pipe creates a pipe and returns (readFD, writeFD).
+func (k *Kernel) Pipe(p *Proc) (int, int, error) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	r, w := NewPipe()
+	rfd := p.FDs.Install(&OpenFile{File: r})
+	wfd := p.FDs.Install(&OpenFile{File: w})
+	return rfd, wfd, nil
+}
+
+// Listen creates a listening socket and returns its descriptor plus the
+// listener handle (the workload driver uses the handle to inject
+// connections).
+func (k *Kernel) Listen(p *Proc) (int, *Listener) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	l := NewListener()
+	fd := p.FDs.Install(&OpenFile{File: l})
+	return fd, l
+}
+
+// Accept blocks until a connection arrives on the listening descriptor.
+func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
+	k.enter(p, 0)
+	defer k.leave(p)
+	of, err := p.FDs.Get(fd)
+	if err != nil {
+		return -1, err
+	}
+	l, ok := of.File.(*Listener)
+	if !ok {
+		return -1, ErrNotSocket
+	}
+	conn, err := l.Accept(p)
+	if err != nil {
+		return -1, err
+	}
+	return p.FDs.Install(&OpenFile{File: conn}), nil
+}
+
+// Sbrk grows the heap watermark by n pages. On the statically heaped
+// μprocess this only moves a bound; the monolithic baseline demand-pages,
+// so the accounting matters there.
+func (k *Kernel) Sbrk(p *Proc, pages int) error {
+	k.enter(p, 0)
+	defer k.leave(p)
+	if p.BrkPages+pages > p.Layout.Pages[SegHeap] {
+		return fmt.Errorf("kernel: sbrk beyond static heap (%d + %d > %d)",
+			p.BrkPages, pages, p.Layout.Pages[SegHeap])
+	}
+	p.BrkPages += pages
+	return nil
+}

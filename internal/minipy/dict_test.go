@@ -1,0 +1,166 @@
+package minipy_test
+
+import (
+	"testing"
+
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+)
+
+func TestDictBasics(t *testing.T) {
+	src := `
+d = {"one": 1, "two": 2}
+d["three"] = 3
+d["one"] = 10
+result = d["one"] + d["two"] + d["three"] + len(d) * 1000
+` + resultFooter
+	// 10 + 2 + 3 + 3000 = 3015
+	if got := evalGlobal(t, src); got != 3015 {
+		t.Fatalf("got %v, want 3015", got)
+	}
+}
+
+func TestDictNumericKeys(t *testing.T) {
+	src := `
+d = {}
+for i in range(20):
+    d[i] = i * i
+total = 0
+for i in range(20):
+    total += d[i]
+result = total + len(d)
+` + resultFooter
+	// sum i^2 for 0..19 = 2470; +20 = 2490
+	if got := evalGlobal(t, src); got != 2490 {
+		t.Fatalf("got %v, want 2490", got)
+	}
+}
+
+func TestDictGrowthRehash(t *testing.T) {
+	// Push well past the initial 8 buckets to force several rehashes.
+	src := `
+d = {}
+for i in range(200):
+    d["key" + str(i)] = i
+total = 0
+for i in range(200):
+    total += d["key" + str(i)]
+result = total + len(d) * 10000
+` + resultFooter
+	// sum 0..199 = 19900; + 200*10000 = 2019900
+	if got := evalGlobal(t, src); got != 2019900 {
+		t.Fatalf("got %v, want 2019900", got)
+	}
+}
+
+func TestDictGetAndKeys(t *testing.T) {
+	src := `
+d = {"a": 1}
+missing = d.get("zzz")
+present = d.get("a")
+ks = d.keys()
+result = present * 100 + len(ks)
+if missing:
+    result += 1000000
+` + resultFooter
+	// present=1 → 100 + 1 key = 101; missing is None (falsy)
+	if got := evalGlobal(t, src); got != 101 {
+		t.Fatalf("got %v, want 101", got)
+	}
+}
+
+func TestDictMixedValues(t *testing.T) {
+	src := `
+d = {"name": "redis", "keys": [1, 2, 3]}
+result = d["name"] + str(len(d["keys"]))
+`
+	if got := evalString(t, src); got != "redis3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDictErrors(t *testing.T) {
+	withRuntime(t, `
+def missing_key():
+    d = {"x": 1}
+    return d["y"]
+
+def bad_key():
+    d = {}
+    d[[1]] = 2
+    return 0
+`, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		if _, err := rt.Call(pr, "missing_key"); err == nil {
+			t.Error("missing key should error")
+		}
+		if _, err := rt.Call(pr, "bad_key"); err == nil {
+			t.Error("unhashable key should error")
+		}
+	})
+}
+
+// TestDictSurvivesFork: a dictionary built in the zygote is fully usable
+// (relocated bucket arrays, keys and values) in forked children, and
+// child mutations stay private.
+func TestDictSurvivesFork(t *testing.T) {
+	src := `
+config = {"port": 8080, "host": "localhost", "workers": 3}
+
+def lookup(k):
+    return config.get(k)
+
+def mutate():
+    global config
+    config["port"] = 9999
+    config["extra"] = 1
+    return len(config)
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		for i := 0; i < 2; i++ {
+			_, err := k.Fork(p, func(c *kernel.Proc) {
+				crt, err := minipy.Attach(c)
+				if err != nil {
+					t.Errorf("attach: %v", err)
+					return
+				}
+				idx, _ := pr.FuncIndex("lookup")
+				hv, err := crt.CallValue(idx, strArg(t, crt, "host"))
+				if err != nil {
+					t.Errorf("child lookup: %v", err)
+					return
+				}
+				s, err := crt.Format(hv)
+				if err != nil || s != "localhost" {
+					t.Errorf("child host = %q, %v", s, err)
+					return
+				}
+				if n, err := crt.Call(pr, "mutate"); err != nil || n != 4 {
+					t.Errorf("child mutate: %v %v", n, err)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Zygote unchanged: still 3 entries, port still 8080.
+		idx, _ := pr.FuncIndex("lookup")
+		pv, err := rt.CallValue(idx, strArg(t, rt, "port"))
+		if err != nil || pv.Float() != 8080 {
+			t.Fatalf("zygote port = %v, %v", pv.Float(), err)
+		}
+	})
+}
+
+// strArg builds a string Value in the runtime's memory for use as a call
+// argument.
+func strArg(t *testing.T, rt *minipy.Runtime, s string) minipy.Value {
+	t.Helper()
+	v, err := rt.NewString(s)
+	if err != nil {
+		t.Fatalf("NewString: %v", err)
+	}
+	return v
+}

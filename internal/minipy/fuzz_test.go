@@ -1,0 +1,115 @@
+package minipy_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+)
+
+// TestCompileNeverPanics throws random token soup at the compiler: it may
+// (and usually must) return an error, but it must never panic.
+func TestCompileNeverPanics(t *testing.T) {
+	tokens := []string{
+		"def", "return", "for", "while", "if", "else", "elif", "in",
+		"range", "break", "continue", "global", "import", "and", "or",
+		"not", "x", "y", "foo", "math.sin", "0", "1", "3.14", `"str"`,
+		"(", ")", "[", "]", "{", "}", ":", ",", "+", "-", "*", "/", "//",
+		"%", "**", "==", "!=", "<", ">", "<=", ">=", "=", ".", "\n",
+		"    ", "pass",
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := r.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+			if r.Intn(4) == 0 {
+				b.WriteString(" ")
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Compile panicked on seed %d: %v\nsource: %q", seed, rec, src)
+				}
+			}()
+			_, _ = minipy.Compile(src)
+		}()
+	}
+}
+
+// TestDictDifferential drives the in-VM dictionary and a host Go map with
+// the same random operation sequence and compares observations.
+func TestDictDifferential(t *testing.T) {
+	// The program exposes dict primitives to the host driver.
+	src := `
+d = {}
+
+def dset(k, v):
+    global d
+    d[k] = v
+    return len(d)
+
+def dget(k):
+    return d.get(k)
+
+def dlen():
+    return len(d)
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		r := rand.New(rand.NewSource(42))
+		ref := map[float64]float64{}
+		for i := 0; i < 300; i++ {
+			key := float64(r.Intn(60))
+			switch r.Intn(3) {
+			case 0, 1: // set
+				val := float64(r.Intn(1000))
+				ref[key] = val
+				n, err := rt.Call(pr, "dset", key, val)
+				if err != nil {
+					t.Fatalf("dset: %v", err)
+				}
+				if int(n) != len(ref) {
+					t.Fatalf("op %d: len %v != ref %d", i, n, len(ref))
+				}
+			case 2: // get
+				got, err := rt.Call(pr, "dget", key)
+				if err != nil {
+					t.Fatalf("dget: %v", err)
+				}
+				want, ok := ref[key]
+				if !ok {
+					want = 0 // None formats as numeric 0 through Call
+				}
+				if got != want {
+					t.Fatalf("op %d: dget(%v) = %v, want %v", i, key, got, want)
+				}
+			}
+		}
+		n, err := rt.Call(pr, "dlen")
+		if err != nil || int(n) != len(ref) {
+			t.Fatalf("final len %v (%v) != %d", n, err, len(ref))
+		}
+	})
+}
+
+// TestDeepNesting pushes parser/VM recursion: deeply nested lists and
+// parenthesized expressions behave or fail cleanly.
+func TestDeepNesting(t *testing.T) {
+	depth := 30
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	src := fmt.Sprintf("result = %s + 1\n%s", expr, resultFooter)
+	if got := evalGlobal(t, src); got != 2 {
+		t.Fatalf("nested parens = %v", got)
+	}
+	nested := strings.Repeat("[", 10) + "7" + strings.Repeat("]", 10)
+	src2 := "x = " + nested + "\nresult = x" + strings.Repeat("[0]", 10) + "\n" + resultFooter
+	if got := evalGlobal(t, src2); got != 7 {
+		t.Fatalf("nested lists = %v", got)
+	}
+}

@@ -1,0 +1,221 @@
+// Package minipy is a small Python-subset interpreter standing in for
+// MicroPython in the FaaS experiments (§5.1).
+//
+// The pipeline is conventional — lexer → recursive-descent parser → stack
+// bytecode — but the runtime is not: the compiled program blob, the global
+// environment, every variable cell, and every heap object (strings, lists,
+// dictionaries) live in *simulated* μprocess memory, allocated through the
+// capability-bounded heap allocator. Forking a warm interpreter (the
+// Zygote pattern) therefore exercises exactly the machinery the paper
+// describes: environment tables, list element arrays and dict buckets are
+// pages full of capabilities that μFork must relocate, while the bytecode
+// and string-literal pages are plain data that CoPA lets parent and
+// children share.
+package minipy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokName
+	tokNumber
+	tokString
+	tokOp      // operators and punctuation
+	tokKeyword // def, return, for, while, if, elif, else, in, import, pass, break, continue, and, or, not, True, False, None
+)
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "for": true, "while": true, "if": true,
+	"elif": true, "else": true, "in": true, "import": true, "pass": true,
+	"break": true, "continue": true, "and": true, "or": true, "not": true,
+	"True": true, "False": true, "None": true, "from": true, "as": true,
+	"global": true,
+}
+
+// token is one lexical unit.
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokNewline:
+		return "NEWLINE"
+	case tokIndent:
+		return "INDENT"
+	case tokDedent:
+		return "DEDENT"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with its line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minipy: line %d: %s", e.Line, e.Msg)
+}
+
+// lex tokenizes source, emitting INDENT/DEDENT via the usual indentation
+// stack.
+func lex(src string) ([]token, error) {
+	var toks []token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := ln + 1
+		// Strip comments.
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		if strings.TrimSpace(raw) == "" {
+			continue // blank lines produce no tokens
+		}
+		// Indentation.
+		indent := 0
+		for _, r := range raw {
+			if r == ' ' {
+				indent++
+			} else if r == '\t' {
+				indent += 8
+			} else {
+				break
+			}
+		}
+		cur := indents[len(indents)-1]
+		switch {
+		case indent > cur:
+			indents = append(indents, indent)
+			toks = append(toks, token{kind: tokIndent, line: line})
+		case indent < cur:
+			for len(indents) > 1 && indents[len(indents)-1] > indent {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, token{kind: tokDedent, line: line})
+			}
+			if indents[len(indents)-1] != indent {
+				return nil, &SyntaxError{line, "inconsistent indentation"}
+			}
+		}
+		body := strings.TrimLeft(raw, " \t")
+		if err := lexLine(body, line, &toks); err != nil {
+			return nil, err
+		}
+		toks = append(toks, token{kind: tokNewline, line: line})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, token{kind: tokDedent, line: len(lines)})
+	}
+	toks = append(toks, token{kind: tokEOF, line: len(lines)})
+	return toks, nil
+}
+
+// twoCharOps are the multi-byte operators, longest match first.
+var twoCharOps = []string{"**", "//", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/="}
+
+func lexLine(s string, line int, toks *[]token) error {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case isNameStart(c):
+			j := i + 1
+			for j < len(s) && isNameChar(s[j]) {
+				j++
+			}
+			word := s[i:j]
+			kind := tokName
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			*toks = append(*toks, token{kind: kind, text: word, line: line})
+			i = j
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i
+			seenDot, seenExp := false, false
+			for j < len(s) {
+				d := s[j]
+				if d >= '0' && d <= '9' {
+					j++
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+				} else if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < len(s) && (s[j] == '+' || s[j] == '-') {
+						j++
+					}
+				} else {
+					break
+				}
+			}
+			v, err := strconv.ParseFloat(s[i:j], 64)
+			if err != nil {
+				return &SyntaxError{line, "bad number " + s[i:j]}
+			}
+			*toks = append(*toks, token{kind: tokNumber, text: s[i:j], num: v, line: line})
+			i = j
+		case c == '"' || c == '\'':
+			q := c
+			j := i + 1
+			for j < len(s) && s[j] != q {
+				j++
+			}
+			if j >= len(s) {
+				return &SyntaxError{line, "unterminated string"}
+			}
+			*toks = append(*toks, token{kind: tokString, text: s[i+1 : j], line: line})
+			i = j + 1
+		default:
+			matched := false
+			for _, op := range twoCharOps {
+				if strings.HasPrefix(s[i:], op) {
+					*toks = append(*toks, token{kind: tokOp, text: op, line: line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%()[]{},:.<>=", rune(c)) {
+				*toks = append(*toks, token{kind: tokOp, text: string(c), line: line})
+				i++
+			} else {
+				return &SyntaxError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,377 @@
+package minipy_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ufork/internal/alloc"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+	"ufork/internal/model"
+)
+
+// faasSpec is a μprocess image big enough for interpreter workloads.
+func faasSpec() kernel.ProgramSpec {
+	s := kernel.HelloWorldSpec()
+	s.Name = "minipy"
+	s.HeapPages = 2048
+	s.AllocMetaPages = 64
+	return s
+}
+
+// withRuntime compiles src, installs it in a fresh μprocess, runs the
+// module body and hands the runtime to fn.
+func withRuntime(t *testing.T, src string, fn func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime)) {
+	t.Helper()
+	pr, err := minipy.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(core.CopyOnPointerAccess),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 16,
+	})
+	if _, err := k.Spawn(faasSpec(), 0, func(p *kernel.Proc) {
+		a := alloc.Attach(p)
+		if err := a.Init(); err != nil {
+			t.Errorf("alloc init: %v", err)
+			return
+		}
+		rt, err := minipy.Install(p, a, pr)
+		if err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		if _, err := rt.RunMain(); err != nil {
+			t.Errorf("run main: %v", err)
+			return
+		}
+		fn(k, p, pr, rt)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
+// evalGlobal runs src and returns the final value of global `result`.
+func evalGlobal(t *testing.T, src string) float64 {
+	t.Helper()
+	var got float64
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		v, err := rt.Call(pr, "get_result")
+		if err != nil {
+			t.Fatalf("get_result: %v", err)
+		}
+		got = v
+	})
+	return got
+}
+
+const resultFooter = "\ndef get_result():\n    return result\n"
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 4", 2.5},
+		{"10 // 4", 2},
+		{"10 % 3", 1},
+		{"2 ** 10", 1024},
+		{"-5 + 3", -2},
+		{"2 < 3", 1},
+		{"3 < 2", 0},
+		{"2 == 2 and 3 > 1", 1},
+		{"0 or 7", 7},
+		{"not 0", 1},
+		{"1 <= 1", 1},
+		{"4 != 4", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			got := evalGlobal(t, "result = "+tc.expr+resultFooter)
+			if got != tc.want {
+				t.Fatalf("%s = %v, want %v", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+result = 0
+for i in range(10):
+    if i % 2 == 0:
+        result += i
+    else:
+        result += 1
+` + resultFooter
+	// evens 0+2+4+6+8 = 20, odds contribute 5 → 25
+	if got := evalGlobal(t, src); got != 25 {
+		t.Fatalf("got %v, want 25", got)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+result = 0
+i = 0
+while True:
+    i += 1
+    if i > 100:
+        break
+    if i % 3 != 0:
+        continue
+    result += i
+` + resultFooter
+	// multiples of 3 up to 99: 3+6+...+99 = 3*(1+..+33) = 1683
+	if got := evalGlobal(t, src); got != 1683 {
+		t.Fatalf("got %v, want 1683", got)
+	}
+}
+
+func TestRangeVariants(t *testing.T) {
+	src := `
+result = 0
+for i in range(2, 10):
+    result += 1
+for j in range(0, 10, 3):
+    result += 100
+` + resultFooter
+	// 8 iterations + 4 iterations (0,3,6,9) * 100
+	if got := evalGlobal(t, src); got != 408 {
+		t.Fatalf("got %v, want 408", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+result = fib(15)
+` + resultFooter
+	if got := evalGlobal(t, src); got != 610 {
+		t.Fatalf("fib(15) = %v, want 610", got)
+	}
+}
+
+func TestGlobalsFromFunction(t *testing.T) {
+	src := `
+counter = 0
+
+def bump():
+    global counter
+    counter = counter + 1
+    return counter
+
+bump()
+bump()
+result = bump()
+` + resultFooter
+	if got := evalGlobal(t, src); got != 3 {
+		t.Fatalf("got %v, want 3", got)
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	src := `
+import math
+result = math.sqrt(16) + math.floor(2.7) + abs(-3) + max(1, 9) + min(4, 2)
+` + resultFooter
+	if got := evalGlobal(t, src); got != 4+2+3+9+2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFloatOperationBenchmark(t *testing.T) {
+	// The FunctionBench-style workload the FaaS experiment executes.
+	src := `
+import math
+
+def float_operation(n):
+    x = 0.0
+    for i in range(n):
+        x += math.sin(i) * math.cos(i) + math.sqrt(i)
+    return x
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		got, err := rt.Call(pr, "float_operation", 50)
+		if err != nil {
+			t.Fatalf("call: %v", err)
+		}
+		want := 0.0
+		for i := 0; i < 50; i++ {
+			f := float64(i)
+			want += math.Sin(f)*math.Cos(f) + math.Sqrt(f)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("float_operation(50) = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestComputeTimeCharged(t *testing.T) {
+	src := `
+def spin(n):
+    x = 0
+    for i in range(n):
+        x += i
+    return x
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		t0 := p.Now()
+		if _, err := rt.Call(pr, "spin", 5000); err != nil {
+			t.Fatal(err)
+		}
+		if p.Now() == t0 {
+			t.Fatal("interpretation must consume virtual CPU time")
+		}
+	})
+}
+
+// TestZygoteForkRunsWarmRuntime is the FaaS core property: a forked child
+// attaches to the inherited (relocated) runtime and calls a function
+// without recompiling or reinstalling anything.
+func TestZygoteForkRunsWarmRuntime(t *testing.T) {
+	src := `
+import math
+warm = 42
+
+def handler(x):
+    return warm + math.sqrt(x)
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		for i := 0; i < 3; i++ {
+			_, err := k.Fork(p, func(c *kernel.Proc) {
+				crt, err := minipy.Attach(c)
+				if err != nil {
+					t.Errorf("child attach: %v", err)
+					return
+				}
+				v, err := crt.Call(pr, "handler", 16)
+				if err != nil {
+					t.Errorf("child call: %v", err)
+					return
+				}
+				if v != 46 {
+					t.Errorf("child handler = %v, want 46 (warm state!)", v)
+				}
+			})
+			if err != nil {
+				t.Fatalf("fork: %v", err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+		}
+		// The zygote's own state is untouched by children.
+		v, err := rt.Call(pr, "handler", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 42 {
+			t.Fatalf("zygote handler = %v, want 42", v)
+		}
+	})
+}
+
+// TestChildGlobalWritesIsolated: a child mutating a global must not
+// affect the zygote or sibling children.
+func TestChildGlobalWritesIsolated(t *testing.T) {
+	src := `
+state = 1
+
+def mutate():
+    global state
+    state = state * 10
+    return state
+
+def read_state():
+    return state
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		for i := 0; i < 2; i++ {
+			_, err := k.Fork(p, func(c *kernel.Proc) {
+				crt, err := minipy.Attach(c)
+				if err != nil {
+					t.Errorf("attach: %v", err)
+					return
+				}
+				v, err := crt.Call(pr, "mutate")
+				if err != nil {
+					t.Errorf("mutate: %v", err)
+					return
+				}
+				if v != 10 {
+					t.Errorf("child state = %v, want 10 (fresh copy each fork)", v)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := rt.Call(pr, "read_state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1 {
+			t.Fatalf("zygote state = %v, want 1 (children isolated)", v)
+		}
+	})
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"for x in y:\n    pass",    // non-range for
+		"def f(:\n    pass",        // bad params
+		"x = ",                     // missing rhs
+		"if 1\n    pass",           // missing colon
+		"x = 1 +",                  // dangling op
+		"while True:\npass\nbreak", // break outside loop
+		"y = unknown_fn(1)",        // unknown function
+	}
+	for _, src := range bad {
+		if _, err := minipy.Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerIndentation(t *testing.T) {
+	src := `
+if 1:
+    if 2:
+        x = 1
+    y = 2
+z = 3
+result = 1
+` + resultFooter
+	if got := evalGlobal(t, src); got != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := strings.Join([]string{
+		"# leading comment",
+		"result = 5  # trailing",
+		"",
+		"   ",
+		"# done",
+	}, "\n") + resultFooter
+	if got := evalGlobal(t, src); got != 5 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,316 @@
+package minipy_test
+
+import (
+	"strings"
+	"testing"
+
+	"ufork/internal/kernel"
+	"ufork/internal/minipy"
+)
+
+// evalString runs src and returns str(result) computed in the VM.
+func evalString(t *testing.T, src string) string {
+	t.Helper()
+	var got string
+	withRuntime(t, src+"\ndef get_result_str():\n    return str(result)\n",
+		func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+			idx, ok := pr.FuncIndex("get_result_str")
+			if !ok {
+				t.Fatal("helper missing")
+			}
+			v, err := rt.CallValue(idx)
+			if err != nil {
+				t.Fatalf("get_result_str: %v", err)
+			}
+			s, err := rt.Format(v)
+			if err != nil {
+				t.Fatalf("format: %v", err)
+			}
+			got = s
+		})
+	return got
+}
+
+func TestStringLiteralsAndConcat(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`result = "hello"`, "hello"},
+		{`result = "foo" + "bar"`, "foobar"},
+		{`result = "a" + "b" + "c"`, "abc"},
+		{`x = "rep"` + "\n" + `result = x + x`, "reprep"},
+	}
+	for _, tc := range cases {
+		if got := evalString(t, tc.src); got != tc.want {
+			t.Errorf("%s = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	src := `
+s = "capability"
+result = 0
+if s == "capability":
+    result += 1
+if s != "pointer":
+    result += 10
+if "abc" < "abd":
+    result += 100
+result += len(s)
+result += ord("A")
+` + resultFooter
+	// 1 + 10 + 100 + 10 + 65 = 186
+	if got := evalGlobal(t, src); got != 186 {
+		t.Fatalf("got %v, want 186", got)
+	}
+}
+
+func TestStringIndexAndChr(t *testing.T) {
+	src := `result = "xyz"[1] + chr(33)`
+	if got := evalString(t, src); got != "y!" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	src := `
+xs = [10, 20, 30]
+xs[1] = 21
+xs.append(40)
+result = len(xs) * 1000 + xs[0] + xs[1] + xs[2] + xs[3]
+` + resultFooter
+	// 4*1000 + 10+21+30+40 = 4101
+	if got := evalGlobal(t, src); got != 4101 {
+		t.Fatalf("got %v, want 4101", got)
+	}
+}
+
+func TestListGrowthAcrossCapacity(t *testing.T) {
+	src := `
+xs = []
+for i in range(50):
+    xs.append(i * i)
+total = 0
+for i in range(len(xs)):
+    total += xs[i]
+result = total
+` + resultFooter
+	// sum of i^2 for i in 0..49 = 49*50*99/6 = 40425
+	if got := evalGlobal(t, src); got != 40425 {
+		t.Fatalf("got %v, want 40425", got)
+	}
+}
+
+func TestListOfStringsAndNesting(t *testing.T) {
+	src := `
+words = ["fork", "in", "one", "space"]
+nested = [[1, 2], [3, 4]]
+result = words[0] + "-" + words[3] + str(nested[1][0])
+`
+	if got := evalString(t, src); got != "fork-space3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestListConcatAndPop(t *testing.T) {
+	src := `
+a = [1, 2]
+b = [3]
+c = a + b
+last = c.pop()
+result = len(c) * 100 + last
+` + resultFooter
+	if got := evalGlobal(t, src); got != 203 {
+		t.Fatalf("got %v, want 203", got)
+	}
+}
+
+func TestNegativeIndex(t *testing.T) {
+	src := `
+xs = [5, 6, 7]
+result = xs[-1] * 10 + ord("hi"[-1])
+` + resultFooter
+	// 7*10 + 'i'(105) = 175
+	if got := evalGlobal(t, src); got != 175 {
+		t.Fatalf("got %v, want 175", got)
+	}
+}
+
+func TestIndexOutOfRangeErrors(t *testing.T) {
+	withRuntime(t, `
+def boom():
+    xs = [1]
+    return xs[5]
+`, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		if _, err := rt.Call(pr, "boom"); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("got %v, want out-of-range", err)
+		}
+	})
+}
+
+func TestTypeErrors(t *testing.T) {
+	bad := []string{
+		`result = "a" + 1`,
+		`result = [1] + "x"`,
+		`result = 5[0]`,
+		`x = 3` + "\n" + `x.append(1)`,
+	}
+	for _, src := range bad {
+		src := src
+		withRuntime(t, "def run_bad():\n"+indent(src)+"\n    return 0\n",
+			func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+				if _, err := rt.Call(pr, "run_bad"); err == nil {
+					t.Errorf("%q should fail at runtime", src)
+				}
+			})
+	}
+}
+
+func indent(src string) string {
+	lines := strings.Split(src, "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestObjectGraphSurvivesFork is the headline property: a zygote builds a
+// nested list-of-strings object graph; each forked child walks AND mutates
+// its own relocated copy, and the zygote's graph stays intact. This drives
+// μFork's relocation over pages dense with value records: list headers,
+// element arrays, string bodies — every one a capability chain.
+func TestObjectGraphSurvivesFork(t *testing.T) {
+	src := `
+graph = []
+for i in range(20):
+    inner = []
+    inner.append("node" + str(i))
+    inner.append(i * 1.5)
+    graph.append(inner)
+
+def checksum():
+    total = 0
+    for i in range(len(graph)):
+        total += ord(graph[i][0][0]) + graph[i][1]
+    return total
+
+def mutate_graph():
+    global graph
+    for i in range(len(graph)):
+        graph[i][1] = 0
+    graph.append(["extra", -1])
+    return len(graph)
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		base, err := rt.Call(pr, "checksum")
+		if err != nil {
+			t.Fatalf("zygote checksum: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			_, err := k.Fork(p, func(c *kernel.Proc) {
+				crt, err := minipy.Attach(c)
+				if err != nil {
+					t.Errorf("child attach: %v", err)
+					return
+				}
+				got, err := crt.Call(pr, "checksum")
+				if err != nil {
+					t.Errorf("child checksum: %v", err)
+					return
+				}
+				if got != base {
+					t.Errorf("child graph checksum %v != zygote %v", got, base)
+					return
+				}
+				n, err := crt.Call(pr, "mutate_graph")
+				if err != nil {
+					t.Errorf("child mutate: %v", err)
+					return
+				}
+				if n != 21 {
+					t.Errorf("child graph len %v after mutate", n)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+			// After each child, the zygote's graph is unchanged.
+			got, err := rt.Call(pr, "checksum")
+			if err != nil {
+				t.Fatalf("zygote recheck: %v", err)
+			}
+			if got != base {
+				t.Fatalf("zygote graph corrupted by child %d: %v != %v", i, got, base)
+			}
+		}
+	})
+}
+
+// TestStringLiteralsSharedAcrossFork: literal strings are capabilities
+// into the program blob; children read them from CoPA-shared pages without
+// per-child copies of the text.
+func TestStringLiteralsSharedAcrossFork(t *testing.T) {
+	src := `
+def greet():
+    return "greetings from the single address space"
+
+def greet_len():
+    return len(greet())
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		_, err := k.Fork(p, func(c *kernel.Proc) {
+			crt, err := minipy.Attach(c)
+			if err != nil {
+				t.Errorf("attach: %v", err)
+				return
+			}
+			idx, _ := pr.FuncIndex("greet")
+			v, err := crt.CallValue(idx)
+			if err != nil {
+				t.Errorf("child greet: %v", err)
+				return
+			}
+			s, err := crt.Format(v)
+			if err != nil {
+				t.Errorf("format: %v", err)
+				return
+			}
+			if s != "greetings from the single address space" {
+				t.Errorf("child literal = %q", s)
+			}
+			if n, err := crt.Call(pr, "greet_len"); err != nil || n != 39 {
+				t.Errorf("len = %v, %v", n, err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := k.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPrintFormatsObjects(t *testing.T) {
+	src := `
+print("hello")
+print([1, "two", [3]])
+print(4.5)
+`
+	withRuntime(t, src, func(k *kernel.Kernel, p *kernel.Proc, pr *minipy.Program, rt *minipy.Runtime) {
+		of, err := p.FDs.Get(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		console, ok := of.File.(*kernel.Console)
+		if !ok {
+			t.Fatal("stdout is not the console")
+		}
+		want := "hello\n[1, 'two', [3]]\n4.5\n"
+		if string(console.Out) != want {
+			t.Fatalf("stdout = %q, want %q", console.Out, want)
+		}
+	})
+}

@@ -1,0 +1,641 @@
+package minipy
+
+import "fmt"
+
+// --- AST ---
+
+type expr interface{ isExpr() }
+
+type numLit struct{ v float64 }
+type strLit struct{ s string }
+type listLit struct{ elems []expr }
+type dictLit struct {
+	keys, vals []expr
+}
+type nameRef struct{ name string }
+type indexExpr struct {
+	obj expr
+	idx expr
+}
+type unary struct {
+	op string
+	x  expr
+}
+type binOp struct {
+	op   string
+	l, r expr
+}
+type boolOp struct {
+	op   string // "and" | "or"
+	l, r expr
+}
+type call struct {
+	fn   string
+	args []expr
+}
+
+func (numLit) isExpr()    {}
+func (strLit) isExpr()    {}
+func (listLit) isExpr()   {}
+func (dictLit) isExpr()   {}
+func (indexExpr) isExpr() {}
+func (nameRef) isExpr()   {}
+func (unary) isExpr()     {}
+func (binOp) isExpr()     {}
+func (boolOp) isExpr()    {}
+func (call) isExpr()      {}
+
+type stmt interface{ isStmt() }
+
+type assign struct {
+	name string
+	op   string // "=", "+=", "-=", "*=", "/="
+	val  expr
+}
+type exprStmt struct{ x expr }
+type indexAssign struct {
+	obj, idx, val expr
+}
+type returnStmt struct{ x expr } // nil x returns 0
+type passStmt struct{}
+type breakStmt struct{}
+type continueStmt struct{}
+type globalStmt struct{ names []string }
+type ifStmt struct {
+	cond expr
+	then []stmt
+	els  []stmt // may be nil
+}
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+type forStmt struct {
+	name             string
+	start, stop, stp expr // stp may be nil (defaults to 1)
+	body             []stmt
+}
+type defStmt struct {
+	name   string
+	params []string
+	body   []stmt
+}
+
+func (assign) isStmt()       {}
+func (exprStmt) isStmt()     {}
+func (indexAssign) isStmt()  {}
+func (returnStmt) isStmt()   {}
+func (passStmt) isStmt()     {}
+func (breakStmt) isStmt()    {}
+func (continueStmt) isStmt() {}
+func (globalStmt) isStmt()   {}
+func (ifStmt) isStmt()       {}
+func (whileStmt) isStmt()    {}
+func (forStmt) isStmt()      {}
+func (defStmt) isStmt()      {}
+
+// module is a parsed source file.
+type module struct {
+	body []stmt
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var body []stmt
+	for !p.at(tokEOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			body = append(body, s)
+		}
+	}
+	return &module{body: body}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atOp(text string) bool {
+	return p.cur().kind == tokOp && p.cur().text == text
+}
+
+func (p *parser) atKw(text string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == text
+}
+
+func (p *parser) eatOp(text string) bool {
+	if p.atOp(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKw(text string) bool {
+	if p.atKw(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(text string) error {
+	if !p.eatOp(text) {
+		return p.errf("expected %q, got %v", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectNewline() error {
+	if !p.at(tokNewline) {
+		return p.errf("expected end of line, got %v", p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{p.cur().line, fmt.Sprintf(format, args...)}
+}
+
+// statement parses one statement (possibly a compound one).
+func (p *parser) statement() (stmt, error) {
+	switch {
+	case p.eatKw("import"), p.eatKw("from"):
+		// Imports are accepted and ignored: builtins cover math/time.
+		for !p.at(tokNewline) && !p.at(tokEOF) {
+			p.pos++
+		}
+		if p.at(tokNewline) {
+			p.pos++
+		}
+		return nil, nil
+	case p.eatKw("pass"):
+		return passStmt{}, p.expectNewline()
+	case p.eatKw("break"):
+		return breakStmt{}, p.expectNewline()
+	case p.eatKw("continue"):
+		return continueStmt{}, p.expectNewline()
+	case p.eatKw("global"):
+		var names []string
+		for {
+			if !p.at(tokName) {
+				return nil, p.errf("expected name in global")
+			}
+			names = append(names, p.next().text)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		return globalStmt{names}, p.expectNewline()
+	case p.eatKw("return"):
+		var x expr
+		if !p.at(tokNewline) {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return returnStmt{x}, p.expectNewline()
+	case p.atKw("def"):
+		return p.defStatement()
+	case p.atKw("if"):
+		return p.ifStatement()
+	case p.atKw("while"):
+		return p.whileStatement()
+	case p.atKw("for"):
+		return p.forStatement()
+	default:
+		return p.simpleStatement()
+	}
+}
+
+func (p *parser) simpleStatement() (stmt, error) {
+	// assignment or expression statement
+	if p.at(tokName) {
+		save := p.pos
+		name := p.next().text
+		// Qualified names (math.sin) are only calls, not assign targets.
+		if p.atOp("=") || p.atOp("+=") || p.atOp("-=") || p.atOp("*=") || p.atOp("/=") {
+			op := p.next().text
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return assign{name: name, op: op, val: val}, p.expectNewline()
+		}
+		p.pos = save
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	// Index assignment: xs[i] = v (simple '=' only).
+	if ix, ok := x.(indexExpr); ok && p.atOp("=") {
+		p.pos++
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return indexAssign{obj: ix.obj, idx: ix.idx, val: val}, p.expectNewline()
+	}
+	return exprStmt{x}, p.expectNewline()
+}
+
+func (p *parser) defStatement() (stmt, error) {
+	p.eatKw("def")
+	if !p.at(tokName) {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().text
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atOp(")") {
+		if !p.at(tokName) {
+			return nil, p.errf("expected parameter name")
+		}
+		params = append(params, p.next().text)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return defStmt{name: name, params: params, body: body}, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	p.next() // if / elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.atKw("elif") {
+		s, err := p.ifStatement()
+		if err != nil {
+			return nil, err
+		}
+		els = []stmt{s}
+	} else if p.eatKw("else") {
+		els, err = p.suite()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ifStmt{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) whileStatement() (stmt, error) {
+	p.eatKw("while")
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return whileStmt{cond: cond, body: body}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	p.eatKw("for")
+	if !p.at(tokName) {
+		return nil, p.errf("expected loop variable")
+	}
+	name := p.next().text
+	if !p.eatKw("in") {
+		return nil, p.errf("expected 'in'")
+	}
+	if !p.at(tokName) || p.cur().text != "range" {
+		return nil, p.errf("only 'for ... in range(...)' is supported")
+	}
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	first, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var start, stop, step expr
+	start = numLit{0}
+	stop = first
+	if p.eatOp(",") {
+		start = first
+		stop, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.eatOp(",") {
+			step, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return forStmt{name: name, start: start, stop: stop, stp: step, body: body}, nil
+}
+
+// suite parses ":" NEWLINE INDENT stmt+ DEDENT (or a same-line statement).
+func (p *parser) suite() ([]stmt, error) {
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokNewline) {
+		// single statement on the same line
+		s, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		return []stmt{s}, nil
+	}
+	p.pos++
+	if !p.at(tokIndent) {
+		return nil, p.errf("expected indented block")
+	}
+	p.pos++
+	var body []stmt
+	for !p.at(tokDedent) && !p.at(tokEOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			body = append(body, s)
+		}
+	}
+	if p.at(tokDedent) {
+		p.pos++
+	}
+	return body, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = boolOp{"or", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = boolOp{"and", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr, error) {
+	if p.eatKw("not") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unary{"not", x}, nil
+	}
+	return p.comparison()
+}
+
+var compareOps = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "==": true, "!=": true}
+
+func (p *parser) comparison() (expr, error) {
+	l, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && compareOps[p.cur().text] {
+		op := p.next().text
+		r, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) arith() (expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.next().text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") || p.atOp("//") {
+		op := p.next().text
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) factor() (expr, error) {
+	if p.atOp("-") {
+		p.pos++
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return unary{"-", x}, nil
+	}
+	if p.atOp("+") {
+		p.pos++
+		return p.factor()
+	}
+	return p.power()
+}
+
+func (p *parser) power() (expr, error) {
+	base, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatOp("**") {
+		exp, err := p.factor() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return binOp{"**", base, exp}, nil
+	}
+	return base, nil
+}
+
+// postfix parses an atom followed by any number of [index] suffixes.
+func (p *parser) postfix() (expr, error) {
+	x, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatOp("[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		x = indexExpr{obj: x, idx: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) atom() (expr, error) {
+	switch {
+	case p.eatOp("{"):
+		var d dictLit
+		for !p.atOp("}") {
+			k, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.keys = append(d.keys, k)
+			d.vals = append(d.vals, v)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp("}"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.eatOp("["):
+		var elems []expr
+		for !p.atOp("]") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		return listLit{elems}, nil
+	case p.at(tokNumber):
+		return numLit{p.next().num}, nil
+	case p.eatKw("True"):
+		return numLit{1}, nil
+	case p.eatKw("False"), p.eatKw("None"):
+		return numLit{0}, nil
+	case p.at(tokString):
+		return strLit{p.next().text}, nil
+	case p.at(tokName):
+		name := p.next().text
+		// Qualified name: math.sin → "math.sin"
+		for p.atOp(".") {
+			p.pos++
+			if !p.at(tokName) {
+				return nil, p.errf("expected attribute name")
+			}
+			name += "." + p.next().text
+		}
+		if p.eatOp("(") {
+			var args []expr
+			for !p.atOp(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call{fn: name, args: args}, nil
+		}
+		return nameRef{name}, nil
+	case p.eatOp("("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectOp(")")
+	default:
+		return nil, p.errf("unexpected token %v", p.cur())
+	}
+}

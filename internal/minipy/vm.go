@@ -1,0 +1,1023 @@
+package minipy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ufork/internal/alloc"
+	"ufork/internal/cap"
+	"ufork/internal/kernel"
+	"ufork/internal/sim"
+)
+
+// OpCost is the virtual CPU time one bytecode operation takes. It anchors
+// FunctionBench float_operation at roughly a millisecond for the loop
+// counts the FaaS experiment uses (Fig. 6 calibration).
+const OpCost = 15 * sim.Nanosecond
+
+// costBatch is how many ops accumulate before the VM books core time.
+const costBatch = 1024
+
+// Errors reported by the runtime.
+var (
+	ErrHalted     = errors.New("minipy: execution limit exceeded")
+	ErrStack      = errors.New("minipy: stack error")
+	ErrNoRuntime  = errors.New("minipy: no runtime installed in this process")
+	ErrBadProgram = errors.New("minipy: malformed program blob")
+)
+
+// Blob layout, all little-endian u64 fields:
+//
+//	magic | nfuncs | nconsts | nglobals | nstrings |
+//	per-func: codeOff codeLen nparams nlocals |
+//	consts (f64 bits) |
+//	per-string object: len u64, pad u64, bytes (padded to 16) |
+//	bytecode bytes
+//
+// The string-pool entries use the runtime string-object layout, so literal
+// strings are capabilities into the (read-shared) blob — zero-copy and
+// relocated with everything else.
+const blobMagic = 0x7570795f6d696e6a
+
+// tlsRootOff is where the runtime root capability lives in TLS; the fork
+// relocation machinery is what keeps this valid in children.
+const tlsRootOff = 0
+
+// Runtime is a per-μprocess interpreter instance. All mutable interpreter
+// state — the program blob, the global environment, every variable cell —
+// lives in simulated memory, so POSIX fork duplicates a warm interpreter
+// exactly as the Zygote pattern requires (§5.1 "Function as a Service").
+type Runtime struct {
+	p  *kernel.Proc
+	a  *alloc.Allocator
+	pr *decodedProgram
+
+	globalEnv cap.Capability // capability-array block: one cap per global
+	blobCap   cap.Capability // the installed program blob
+
+	pendingOps int
+}
+
+// decodedProgram is the host-side decode of the blob (read back from
+// simulated memory, so children decode their own copy/shared pages).
+type decodedProgram struct {
+	funcs   []decodedFunc
+	consts  []float64
+	strOffs []strEntry // blob-relative offsets of pooled string objects
+}
+
+type strEntry struct {
+	off uint64 // offset of the string OBJECT (len header) within the blob
+	ln  uint64
+}
+
+type decodedFunc struct {
+	nparams int
+	nlocals int
+	code    []byte
+}
+
+// Install compiles nothing — it takes an already compiled Program, writes
+// its blob and environment into the process's simulated memory, and plants
+// the runtime root capability in TLS. Call once in the Zygote.
+func Install(p *kernel.Proc, a *alloc.Allocator, pr *Program) (*Runtime, error) {
+	blob := encodeBlob(pr)
+	blobCap, err := a.Alloc(uint64(len(blob)))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Store(blobCap, 0, blob); err != nil {
+		return nil, err
+	}
+	// Global environment: a block of capabilities, one cell per global.
+	envCap, err := makeEnv(p, a, pr.NGlobals)
+	if err != nil {
+		return nil, err
+	}
+	// Root block: blob cap + global env cap.
+	root, err := a.Alloc(2 * cap.GranuleSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.StoreCap(root, 0, blobCap); err != nil {
+		return nil, err
+	}
+	if err := p.StoreCap(root, cap.GranuleSize, envCap); err != nil {
+		return nil, err
+	}
+	if err := p.StoreCap(p.TLSCap, tlsRootOff, root); err != nil {
+		return nil, err
+	}
+	return Attach(p)
+}
+
+// Attach binds a Runtime to a process whose TLS carries a runtime root —
+// either installed directly or inherited (and relocated) through fork.
+func Attach(p *kernel.Proc) (*Runtime, error) {
+	root, err := p.LoadCap(p.TLSCap, tlsRootOff)
+	if err != nil {
+		return nil, err
+	}
+	if !root.Tag() {
+		return nil, ErrNoRuntime
+	}
+	blobCap, err := p.LoadCap(root, 0)
+	if err != nil {
+		return nil, err
+	}
+	envCap, err := p.LoadCap(root, cap.GranuleSize)
+	if err != nil {
+		return nil, err
+	}
+	// Bulk-read the blob: plain data reads, shared under CoPA.
+	blob := make([]byte, blobCap.Len())
+	if err := p.Load(blobCap, 0, blob); err != nil {
+		return nil, err
+	}
+	pr, err := decodeBlob(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{p: p, a: alloc.Attach(p), pr: pr, globalEnv: envCap, blobCap: blobCap}, nil
+}
+
+// makeEnv allocates an environment block of n capability slots, each
+// pointing at a fresh 32-byte value cell (kind | number | object cap).
+func makeEnv(p *kernel.Proc, a *alloc.Allocator, n int) (cap.Capability, error) {
+	if n == 0 {
+		n = 1
+	}
+	env, err := a.Alloc(uint64(n) * cap.GranuleSize)
+	if err != nil {
+		return cap.Null(), err
+	}
+	for i := 0; i < n; i++ {
+		cell, err := a.Alloc(valueSize)
+		if err != nil {
+			return cap.Null(), err
+		}
+		if err := p.StoreU64(cell, valKindOff, kNone); err != nil {
+			return cap.Null(), err
+		}
+		if err := p.StoreCap(env, uint64(i)*cap.GranuleSize, cell); err != nil {
+			return cap.Null(), err
+		}
+	}
+	return env, nil
+}
+
+func encodeBlob(pr *Program) []byte {
+	var out []byte
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		out = append(out, b[:]...)
+	}
+	u64(blobMagic)
+	u64(uint64(len(pr.Funcs)))
+	u64(uint64(len(pr.Consts)))
+	u64(uint64(pr.NGlobals))
+	u64(uint64(len(pr.Strings)))
+	codeOff := 0
+	for _, f := range pr.Funcs {
+		u64(uint64(codeOff))
+		u64(uint64(len(f.Code)))
+		u64(uint64(f.NParams))
+		u64(uint64(f.NLocals))
+		codeOff += len(f.Code)
+	}
+	for _, c := range pr.Consts {
+		u64(math.Float64bits(c))
+	}
+	for _, str := range pr.Strings {
+		// Runtime string-object layout: len | pad | bytes, granule padded.
+		u64(uint64(len(str)))
+		u64(0)
+		out = append(out, str...)
+		for len(out)%16 != 0 {
+			out = append(out, 0)
+		}
+	}
+	for _, f := range pr.Funcs {
+		out = append(out, f.Code...)
+	}
+	return out
+}
+
+func decodeBlob(blob []byte) (*decodedProgram, error) {
+	if len(blob) < 32 {
+		return nil, ErrBadProgram
+	}
+	pos := 0
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(blob[pos:])
+		pos += 8
+		return v
+	}
+	if u64() != blobMagic {
+		return nil, ErrBadProgram
+	}
+	nfuncs := int(u64())
+	nconsts := int(u64())
+	_ = int(u64()) // nglobals: env block already sized
+	nstrings := int(u64())
+	type fhdr struct{ off, ln, np, nl int }
+	if len(blob) < pos+nfuncs*32+nconsts*8 {
+		return nil, ErrBadProgram
+	}
+	hdrs := make([]fhdr, nfuncs)
+	for i := range hdrs {
+		hdrs[i] = fhdr{int(u64()), int(u64()), int(u64()), int(u64())}
+	}
+	pr := &decodedProgram{consts: make([]float64, nconsts)}
+	for i := range pr.consts {
+		pr.consts[i] = math.Float64frombits(u64())
+	}
+	for i := 0; i < nstrings; i++ {
+		objOff := uint64(pos)
+		if pos+16 > len(blob) {
+			return nil, ErrBadProgram
+		}
+		ln := u64()
+		u64() // pad
+		if pos+int(ln) > len(blob) {
+			return nil, ErrBadProgram
+		}
+		pos += int(ln)
+		for pos%16 != 0 {
+			pos++
+		}
+		pr.strOffs = append(pr.strOffs, strEntry{off: objOff, ln: ln})
+	}
+	codeBase := pos
+	for _, h := range hdrs {
+		if codeBase+h.off+h.ln > len(blob) {
+			return nil, ErrBadProgram
+		}
+		pr.funcs = append(pr.funcs, decodedFunc{
+			nparams: h.np,
+			nlocals: h.nl,
+			code:    blob[codeBase+h.off : codeBase+h.off+h.ln],
+		})
+	}
+	return pr, nil
+}
+
+// charge books accumulated op cost as CPU time.
+func (rt *Runtime) charge(force bool) {
+	if rt.pendingOps >= costBatch || (force && rt.pendingOps > 0) {
+		rt.p.Compute(sim.Time(rt.pendingOps) * OpCost)
+		rt.pendingOps = 0
+	}
+}
+
+// RunMain executes the module body (function 0).
+func (rt *Runtime) RunMain() (float64, error) {
+	return rt.CallIndex(0)
+}
+
+// Call executes a named function with float arguments and returns a float
+// result (legacy numeric API; see CallValue for object results).
+func (rt *Runtime) Call(pr *Program, name string, args ...float64) (float64, error) {
+	idx, ok := pr.FuncIndex(name)
+	if !ok {
+		return 0, fmt.Errorf("minipy: no function %q", name)
+	}
+	return rt.CallIndex(idx, args...)
+}
+
+// CallIndex executes function idx with numeric arguments.
+func (rt *Runtime) CallIndex(idx int, args ...float64) (float64, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = Num(a)
+	}
+	v, err := rt.CallValue(idx, vals...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Float(), nil
+}
+
+// CallValue executes function idx with full values and returns the value.
+func (rt *Runtime) CallValue(idx int, args ...Value) (Value, error) {
+	v, err := rt.exec(idx, args, 0)
+	rt.charge(true)
+	return v, err
+}
+
+// maxDepth bounds recursion.
+const maxDepth = 64
+
+// exec runs one function activation. Locals live in a freshly allocated
+// env block in simulated memory; the operand stack is register state
+// (host-side), matching how a real VM keeps its value stack in registers
+// and spill slots.
+func (rt *Runtime) exec(idx int, args []Value, depth int) (Value, error) {
+	if depth > maxDepth {
+		return Value{}, fmt.Errorf("minipy: recursion too deep")
+	}
+	if idx >= len(rt.pr.funcs) {
+		return Value{}, fmt.Errorf("minipy: bad function index %d", idx)
+	}
+	f := rt.pr.funcs[idx]
+	if len(args) != f.nparams {
+		return Value{}, fmt.Errorf("minipy: arity mismatch")
+	}
+	var env cap.Capability
+	if f.nlocals > 0 {
+		var err error
+		env, err = makeEnv(rt.p, rt.a, f.nlocals)
+		if err != nil {
+			return Value{}, err
+		}
+		defer rt.freeEnv(env, f.nlocals)
+		for i, a := range args {
+			if err := rt.storeSlot(env, i, a); err != nil {
+				return Value{}, err
+			}
+		}
+	}
+
+	code := f.code
+	var stack [64]Value
+	sp := 0
+	push := func(v Value) error {
+		if sp >= len(stack) {
+			return ErrStack
+		}
+		stack[sp] = v
+		sp++
+		return nil
+	}
+	pop := func() (Value, error) {
+		if sp == 0 {
+			return Value{}, ErrStack
+		}
+		sp--
+		return stack[sp], nil
+	}
+	popNum := func() (float64, error) {
+		v, err := pop()
+		if err != nil {
+			return 0, err
+		}
+		if v.kind != kNum {
+			return 0, fmt.Errorf("minipy: expected a number")
+		}
+		return v.num, nil
+	}
+
+	pc := 0
+	steps := 0
+	for pc < len(code) {
+		steps++
+		rt.pendingOps++
+		if rt.pendingOps >= costBatch {
+			rt.charge(false)
+		}
+		if steps > 200_000_000 {
+			return Value{}, ErrHalted
+		}
+		op := code[pc]
+		switch op {
+		case opConst:
+			i := int(binary.LittleEndian.Uint16(code[pc+1:]))
+			if i >= len(rt.pr.consts) {
+				return Value{}, ErrBadProgram
+			}
+			if err := push(Num(rt.pr.consts[i])); err != nil {
+				return Value{}, err
+			}
+			pc += 3
+		case opConstStr:
+			i := int(binary.LittleEndian.Uint16(code[pc+1:]))
+			if i >= len(rt.pr.strOffs) {
+				return Value{}, ErrBadProgram
+			}
+			ent := rt.pr.strOffs[i]
+			// A literal string is a bounded capability into the program
+			// blob — immutable and shared, never copied per evaluation.
+			obj, err := rt.blobCap.SetAddr(rt.blobCap.Base() + ent.off).
+				SetBounds(strBytesOff + ent.ln)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(Value{kind: kStr, obj: obj}); err != nil {
+				return Value{}, err
+			}
+			pc += 3
+		case opBuildDict:
+			n := int(binary.LittleEndian.Uint16(code[pc+1:]))
+			if sp < 2*n {
+				return Value{}, ErrStack
+			}
+			dv, err := rt.newDict()
+			if err != nil {
+				return Value{}, err
+			}
+			sp -= 2 * n
+			for i := 0; i < n; i++ {
+				if err := rt.dictSet(dv, stack[sp+2*i], stack[sp+2*i+1]); err != nil {
+					return Value{}, err
+				}
+			}
+			if err := push(dv); err != nil {
+				return Value{}, err
+			}
+			pc += 3
+		case opBuildList:
+			n := int(binary.LittleEndian.Uint16(code[pc+1:]))
+			if sp < n {
+				return Value{}, ErrStack
+			}
+			sp -= n
+			elems := make([]Value, n)
+			copy(elems, stack[sp:sp+n])
+			lv, err := rt.newList(elems)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(lv); err != nil {
+				return Value{}, err
+			}
+			pc += 3
+		case opIndex:
+			iv, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			ov, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			var res Value
+			switch ov.kind {
+			case kDict:
+				var found bool
+				res, found, err = rt.dictGet(ov, iv)
+				if err == nil && !found {
+					err = fmt.Errorf("minipy: key error")
+				}
+			case kList:
+				if iv.kind != kNum {
+					return Value{}, fmt.Errorf("minipy: index must be a number")
+				}
+				res, err = rt.listIndex(ov, iv.num)
+			case kStr:
+				if iv.kind != kNum {
+					return Value{}, fmt.Errorf("minipy: index must be a number")
+				}
+				res, err = rt.strIndex(ov, iv.num)
+			default:
+				err = fmt.Errorf("minipy: value is not indexable")
+			}
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(res); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opStoreIndex:
+			val, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			iv, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			ov, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			switch {
+			case ov.kind == kDict:
+				if err := rt.dictSet(ov, iv, val); err != nil {
+					return Value{}, err
+				}
+			case ov.kind == kList && iv.kind == kNum:
+				if err := rt.listStore(ov, iv.num, val); err != nil {
+					return Value{}, err
+				}
+			default:
+				return Value{}, fmt.Errorf("minipy: invalid index assignment")
+			}
+			pc++
+		case opMethod:
+			mid, argc := code[pc+1], int(code[pc+2])
+			if sp < argc+1 {
+				return Value{}, ErrStack
+			}
+			sp -= argc
+			margs := make([]Value, argc)
+			copy(margs, stack[sp:sp+argc])
+			recv, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			res, err := rt.method(mid, recv, margs)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(res); err != nil {
+				return Value{}, err
+			}
+			pc += 3
+		case opLoad, opStore:
+			slot := int(binary.LittleEndian.Uint16(code[pc+1:]))
+			tbl, sidx := env, slot
+			if slot >= globalBase {
+				tbl, sidx = rt.globalEnv, slot-globalBase
+			}
+			if op == opLoad {
+				v, err := rt.loadSlot(tbl, sidx)
+				if err != nil {
+					return Value{}, err
+				}
+				if err := push(v); err != nil {
+					return Value{}, err
+				}
+			} else {
+				v, err := pop()
+				if err != nil {
+					return Value{}, err
+				}
+				if err := rt.storeSlot(tbl, sidx, v); err != nil {
+					return Value{}, err
+				}
+			}
+			pc += 3
+		case opAdd:
+			b, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			a, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			v, err := rt.add(a, b)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(v); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opSub, opMul, opDiv, opFloorDiv, opMod, opPow:
+			b, err := popNum()
+			if err != nil {
+				return Value{}, err
+			}
+			a, err := popNum()
+			if err != nil {
+				return Value{}, err
+			}
+			var v float64
+			switch op {
+			case opSub:
+				v = a - b
+			case opMul:
+				v = a * b
+			case opDiv:
+				v = a / b
+			case opFloorDiv:
+				v = math.Floor(a / b)
+			case opMod:
+				v = math.Mod(a, b)
+			case opPow:
+				v = math.Pow(a, b)
+			}
+			if err := push(Num(v)); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opLT, opLE, opGT, opGE, opEQ, opNE:
+			b, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			a, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			v, err := rt.compare(op, a, b)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(Num(v)); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opNeg:
+			v, err := popNum()
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(Num(-v)); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opNot:
+			v, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			tr, err := rt.truthy(v)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(Num(b2f(!tr))); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opJmp:
+			pc = int(binary.LittleEndian.Uint16(code[pc+1:]))
+		case opJz:
+			v, err := pop()
+			if err != nil {
+				return Value{}, err
+			}
+			tr, err := rt.truthy(v)
+			if err != nil {
+				return Value{}, err
+			}
+			if !tr {
+				pc = int(binary.LittleEndian.Uint16(code[pc+1:]))
+			} else {
+				pc += 3
+			}
+		case opJzKeep, opJnzKeep:
+			if sp == 0 {
+				return Value{}, ErrStack
+			}
+			tr, err := rt.truthy(stack[sp-1])
+			if err != nil {
+				return Value{}, err
+			}
+			if (op == opJzKeep && !tr) || (op == opJnzKeep && tr) {
+				pc = int(binary.LittleEndian.Uint16(code[pc+1:]))
+			} else {
+				pc += 3
+			}
+		case opPop:
+			if _, err := pop(); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case opCallB:
+			id, argc := code[pc+1], int(code[pc+2])
+			if sp < argc {
+				return Value{}, ErrStack
+			}
+			sp -= argc
+			v, err := rt.builtin(id, stack[sp:sp+argc])
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(v); err != nil {
+				return Value{}, err
+			}
+			pc += 3
+		case opCallF:
+			fi := int(binary.LittleEndian.Uint16(code[pc+1:]))
+			argc := int(code[pc+3])
+			if sp < argc {
+				return Value{}, ErrStack
+			}
+			sp -= argc
+			callArgs := make([]Value, argc)
+			copy(callArgs, stack[sp:sp+argc])
+			v, err := rt.exec(fi, callArgs, depth+1)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := push(v); err != nil {
+				return Value{}, err
+			}
+			pc += 4
+		case opRet:
+			return pop()
+		case opNop:
+			pc++
+		default:
+			return Value{}, fmt.Errorf("%w: opcode %d at %d", ErrBadProgram, op, pc)
+		}
+	}
+	return None(), nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// add implements + with Python-style overloading: numbers add, strings
+// and lists concatenate.
+func (rt *Runtime) add(a, b Value) (Value, error) {
+	switch {
+	case a.kind == kNum && b.kind == kNum:
+		return Num(a.num + b.num), nil
+	case a.kind == kStr && b.kind == kStr:
+		ab, err := rt.strBytes(a)
+		if err != nil {
+			return Value{}, err
+		}
+		bb, err := rt.strBytes(b)
+		if err != nil {
+			return Value{}, err
+		}
+		return rt.newStr(append(ab, bb...))
+	case a.kind == kList && b.kind == kList:
+		an, err := rt.objLen(a)
+		if err != nil {
+			return Value{}, err
+		}
+		bn, err := rt.objLen(b)
+		if err != nil {
+			return Value{}, err
+		}
+		elems := make([]Value, 0, an+bn)
+		for i := uint64(0); i < an; i++ {
+			e, err := rt.listIndex(a, float64(i))
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, e)
+		}
+		for i := uint64(0); i < bn; i++ {
+			e, err := rt.listIndex(b, float64(i))
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, e)
+		}
+		return rt.newList(elems)
+	default:
+		return Value{}, fmt.Errorf("minipy: unsupported operand types for +")
+	}
+}
+
+// compare implements the comparison opcodes with numeric and string
+// orderings.
+func (rt *Runtime) compare(op byte, a, b Value) (float64, error) {
+	if a.kind == kNum && b.kind == kNum {
+		switch op {
+		case opLT:
+			return b2f(a.num < b.num), nil
+		case opLE:
+			return b2f(a.num <= b.num), nil
+		case opGT:
+			return b2f(a.num > b.num), nil
+		case opGE:
+			return b2f(a.num >= b.num), nil
+		case opEQ:
+			return b2f(a.num == b.num), nil
+		case opNE:
+			return b2f(a.num != b.num), nil
+		}
+	}
+	if a.kind == kStr && b.kind == kStr {
+		ab, err := rt.strBytes(a)
+		if err != nil {
+			return 0, err
+		}
+		bb, err := rt.strBytes(b)
+		if err != nil {
+			return 0, err
+		}
+		cmp := 0
+		as, bs := string(ab), string(bb)
+		if as < bs {
+			cmp = -1
+		} else if as > bs {
+			cmp = 1
+		}
+		switch op {
+		case opLT:
+			return b2f(cmp < 0), nil
+		case opLE:
+			return b2f(cmp <= 0), nil
+		case opGT:
+			return b2f(cmp > 0), nil
+		case opGE:
+			return b2f(cmp >= 0), nil
+		case opEQ:
+			return b2f(cmp == 0), nil
+		case opNE:
+			return b2f(cmp != 0), nil
+		}
+	}
+	// Mixed kinds: only equality is defined (always unequal).
+	switch op {
+	case opEQ:
+		return 0, nil
+	case opNE:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("minipy: unsupported comparison")
+}
+
+// method dispatches receiver methods (currently list.append / list.pop).
+func (rt *Runtime) method(mid byte, recv Value, args []Value) (Value, error) {
+	switch mid {
+	case mAppend:
+		if recv.kind != kList {
+			return Value{}, fmt.Errorf("minipy: append on non-list")
+		}
+		if err := rt.listAppend(recv, args[0]); err != nil {
+			return Value{}, err
+		}
+		return None(), nil
+	case mGet:
+		if recv.kind != kDict {
+			return Value{}, fmt.Errorf("minipy: get on non-dict")
+		}
+		v, _, err := rt.dictGet(recv, args[0])
+		return v, err
+	case mKeys:
+		if recv.kind != kDict {
+			return Value{}, fmt.Errorf("minipy: keys on non-dict")
+		}
+		return rt.dictKeys(recv)
+	case mPop:
+		if recv.kind != kList {
+			return Value{}, fmt.Errorf("minipy: pop on non-list")
+		}
+		n, err := rt.objLen(recv)
+		if err != nil {
+			return Value{}, err
+		}
+		if n == 0 {
+			return Value{}, fmt.Errorf("minipy: pop from empty list")
+		}
+		v, err := rt.listIndex(recv, float64(n-1))
+		if err != nil {
+			return Value{}, err
+		}
+		if err := rt.p.StoreU64(recv.obj, objLenOff, n-1); err != nil {
+			return Value{}, err
+		}
+		return v, nil
+	default:
+		return Value{}, fmt.Errorf("minipy: unknown method %d", mid)
+	}
+}
+
+// loadSlot reads the value record a slot's cell holds.
+func (rt *Runtime) loadSlot(env cap.Capability, slot int) (Value, error) {
+	cell, err := rt.p.LoadCap(env, uint64(slot)*cap.GranuleSize)
+	if err != nil {
+		return Value{}, err
+	}
+	return rt.loadValueAt(cell, 0)
+}
+
+// storeSlot writes a value record into a slot's cell.
+func (rt *Runtime) storeSlot(env cap.Capability, slot int, v Value) error {
+	cell, err := rt.p.LoadCap(env, uint64(slot)*cap.GranuleSize)
+	if err != nil {
+		return err
+	}
+	return rt.storeValueAt(cell, 0, v)
+}
+
+func (rt *Runtime) freeEnv(env cap.Capability, n int) {
+	for i := 0; i < n; i++ {
+		cell, err := rt.p.LoadCap(env, uint64(i)*cap.GranuleSize)
+		if err == nil && cell.Tag() {
+			_ = rt.a.Free(cell)
+		}
+	}
+	_ = rt.a.Free(env)
+}
+
+func (rt *Runtime) builtin(id byte, args []Value) (Value, error) {
+	num := func(i int) (float64, error) {
+		if args[i].kind != kNum {
+			return 0, fmt.Errorf("minipy: builtin expects a number")
+		}
+		return args[i].num, nil
+	}
+	one := func() (float64, error) { return num(0) }
+	n1 := func(f func(float64) float64) (Value, error) {
+		v, err := one()
+		if err != nil {
+			return Value{}, err
+		}
+		return Num(f(v)), nil
+	}
+	switch id {
+	case bSqrt:
+		return n1(math.Sqrt)
+	case bSin:
+		return n1(math.Sin)
+	case bCos:
+		return n1(math.Cos)
+	case bTan:
+		return n1(math.Tan)
+	case bAbs:
+		return n1(math.Abs)
+	case bFloor:
+		return n1(math.Floor)
+	case bCeil:
+		return n1(math.Ceil)
+	case bExp:
+		return n1(math.Exp)
+	case bLog:
+		return n1(math.Log)
+	case bPow:
+		a, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := num(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return Num(math.Pow(a, b)), nil
+	case bMin, bMax:
+		a, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := num(1)
+		if err != nil {
+			return Value{}, err
+		}
+		if id == bMin {
+			return Num(math.Min(a, b)), nil
+		}
+		return Num(math.Max(a, b)), nil
+	case bTime:
+		return Num(float64(rt.p.Now()) / float64(sim.Second)), nil
+	case bInt:
+		return n1(math.Trunc)
+	case bLen:
+		switch args[0].kind {
+		case kStr, kList:
+			n, err := rt.objLen(args[0])
+			if err != nil {
+				return Value{}, err
+			}
+			return Num(float64(n)), nil
+		case kDict:
+			n, err := rt.p.LoadU64(args[0].obj, dictCountOff)
+			if err != nil {
+				return Value{}, err
+			}
+			return Num(float64(n)), nil
+		default:
+			return Value{}, fmt.Errorf("minipy: len of non-collection")
+		}
+	case bOrd:
+		if args[0].kind != kStr {
+			return Value{}, fmt.Errorf("minipy: ord expects a string")
+		}
+		b, err := rt.strBytes(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if len(b) == 0 {
+			return Value{}, fmt.Errorf("minipy: ord of empty string")
+		}
+		return Num(float64(b[0])), nil
+	case bChr:
+		v, err := one()
+		if err != nil {
+			return Value{}, err
+		}
+		return rt.newStr([]byte{byte(int(v))})
+	case bStr:
+		s, err := rt.Format(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return rt.newStr([]byte(s))
+	case bPrint:
+		// print writes through the kernel: a real write(2) with its
+		// syscall costs, landing on the process's stdout.
+		line, err := rt.Format(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if _, err := rt.p.Kernel().Write(rt.p, 1, []byte(line+"\n")); err != nil {
+			return Value{}, err
+		}
+		return args[0], nil
+	case 200: // float()
+		v, err := one()
+		if err != nil {
+			return Value{}, err
+		}
+		return Num(v), nil
+	default:
+		return Value{}, fmt.Errorf("minipy: unknown builtin %d", id)
+	}
+}

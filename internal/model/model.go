@@ -1,0 +1,315 @@
+// Package model holds the machine cost models: every virtual-time constant
+// used by the simulation, in one place, with its calibration source.
+//
+// The reproduction's *shapes* — who wins, by what factor, where crossovers
+// fall — come from counted work (pages copied, faults taken, capabilities
+// relocated, syscalls issued). The constants below only anchor those counts
+// to nanoseconds. Each constant is calibrated against a number reported in
+// the paper (§5) or a documented property of the Morello platform, and is
+// annotated with its derivation.
+package model
+
+import "ufork/internal/sim"
+
+// Kind names a machine model.
+type Kind int
+
+const (
+	// KindUFork is the μFork prototype: Unikraft SASOS on CHERI, sealed-cap
+	// trapless syscalls, single address space, big kernel lock.
+	KindUFork Kind = iota
+	// KindPosix is the CheriBSD 23.11 baseline: monolithic multi-address-
+	// space kernel, trap-based syscalls, per-process page tables.
+	KindPosix
+	// KindVMClone is the Nephele baseline: fork by cloning the whole
+	// unikernel VM through the hypervisor.
+	KindVMClone
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUFork:
+		return "uFork"
+	case KindPosix:
+		return "CheriBSD"
+	case KindVMClone:
+		return "Nephele"
+	default:
+		return "unknown"
+	}
+}
+
+// Machine is a full cost/feature model for one of the three systems.
+type Machine struct {
+	Kind  Kind
+	Name  string
+	Cores int
+
+	// --- address-space / feature knobs ---
+
+	// SingleAddressSpace: kernel + all processes share one page table
+	// (μFork); otherwise each process gets its own (CheriBSD baseline).
+	SingleAddressSpace bool
+	// TrapSyscalls: syscalls enter the kernel through a hardware trap
+	// (CheriBSD); otherwise through a sealed-capability jump (μFork §4.4).
+	TrapSyscalls bool
+	// BigKernelLock serializes kernel execution across cores (Unikraft's
+	// current SMP story, §4.5). CheriBSD has fine-grained locking.
+	BigKernelLock bool
+	// DemandPagedHeap maps heap pages on first touch (the monolithic
+	// baseline); unikernel machines map the whole static heap at load
+	// (§4.2 "private, statically-allocated heap").
+	DemandPagedHeap bool
+
+	// --- syscall path costs ---
+
+	// SyscallEnter/SyscallExit: domain-switch cost per direction.
+	// Calibration: Unixbench Context1 (Fig. 9) — 100k pipe token passes in
+	// 245 ms (μFork) vs 419 ms (CheriBSD). Each pass is ~4 syscalls plus 2
+	// context switches; the sealed-cap path is tens of ns (no exception, no
+	// EL change) while the trap path on Morello is several hundred ns.
+	SyscallEnter sim.Time
+	SyscallExit  sim.Time
+	// SyscallBase is kernel-side bookkeeping common to all syscalls.
+	SyscallBase sim.Time
+	// ArgValidate is the per-syscall argument sanitization cost (§4.4,
+	// principle 3). Charged only when the isolation level requests it.
+	ArgValidate sim.Time
+	// TocttouBytesPerNs is the copy-in/copy-out bandwidth for TOCTTOU
+	// buffer copies (§4.4, principle 4), in bytes per nanosecond (≈ GB/s).
+	// Calibration: "the cost of TOCTTOU protection is relatively minor
+	// (2.6% at 100 MB)" for Redis saves (§5.1) → ~30 GB/s memcpy, i.e.
+	// ~3 ms of copies against a 109 ms save.
+	TocttouBytesPerNs int
+	// TocttouFixed is the per-syscall setup cost of the TOCTTOU machinery
+	// (allocating the bounce buffer, double-fetch bookkeeping), charged on
+	// every syscall that passes user buffers. Calibration: the Nginx
+	// TOCTTOU overhead of 6.5% (§5.1) on a syscall-dense request path.
+	TocttouFixed sim.Time
+
+	// --- context switch ---
+
+	// CtxSwitch is the scheduler cost of switching a core between tasks.
+	// On the multi-AS baseline it includes the page-table switch and the
+	// TLB/cache flush the paper's lightweightness argument centres on
+	// (§2.2); in a SASOS there is no address-space switch.
+	// Calibration: Context1 (Fig. 9), see SyscallEnter.
+	CtxSwitch sim.Time
+
+	// --- fork costs ---
+
+	// ForkFixed is the flat per-fork cost: allocating and initialising the
+	// task struct, PID, scheduler entries, and (for μFork) reserving the
+	// child's virtual region.
+	// Calibration: Fig. 8 — hello-world fork is 54 µs on μFork and 197 µs
+	// on CheriBSD (dominated by vmspace creation), 10.7 ms on Nephele
+	// (dominated by Xen domain creation, see DomainCreate).
+	ForkFixed sim.Time
+	// PTECopy is the per-page cost of duplicating one page-table entry.
+	// μFork copies PTE arrays with a bulk memcpy (~7 ns/page keeps the
+	// 100 MB-database Redis fork at ~260 µs, Fig. 4); the CheriBSD CoW path
+	// walks VM objects and adjusts refcounts per page (~50 ns/page puts the
+	// same fork at ~2 ms, the paper's 5–10× gap).
+	PTECopy sim.Time
+	// PageCopy is the cost of copying one 4 KiB frame.
+	// Calibration: Fig. 4 full-copy fork: 144 MB in 23.2 ms → ~630 ns per
+	// page for copy + scan; we split that as 440 copy + 190 scan.
+	PageCopy sim.Time
+	// CapScanPage is the cost of the 16-byte-stride tag scan of one page
+	// (256 granule tag reads), charged whenever μFork copies a page.
+	CapScanPage sim.Time
+	// CapRelocate is the per-capability rewrite cost during relocation.
+	CapRelocate sim.Time
+	// FDDup is the per-descriptor cost of duplicating the FD table.
+	FDDup sim.Time
+	// RegRelocate is the cost of relocating the capability register file
+	// (§3.5 step 2).
+	RegRelocate sim.Time
+	// VMSpaceSetup is the fixed cost of creating a new address space
+	// (CheriBSD only): pmap allocation, vm_map init.
+	// Calibration: Fig. 8 — 197 µs hello-world fork minus per-page terms.
+	VMSpaceSetup sim.Time
+	// DomainCreate is the hypervisor domain-creation cost (Nephele only).
+	// Calibration: Fig. 8 — 10.7 ms hello-world fork; the paper attributes
+	// almost all of it to creating a new Xen domain.
+	DomainCreate sim.Time
+	// PageFault is the cost of taking and dispatching one page fault
+	// (trap, handler entry, PTE fixup), charged on CoW/CoA/CoPA faults.
+	PageFault sim.Time
+
+	// --- I/O path costs ---
+
+	// FSWriteNsPerKB / FSReadNsPerKB: ram-disk filesystem cost per KiB.
+	// Calibration: Fig. 3 — Redis saving a 100 MB database takes 109 ms on
+	// μFork (≈1 GB/s write path → 1024 ns/KiB) vs 158 ms on CheriBSD,
+	// whose pure-capability FS path carries the documented Morello
+	// overheads ([64]/[117] in the paper), modelled as ~1.3 ns/B.
+	FSWriteNsPerKB sim.Time
+	FSReadNsPerKB  sim.Time
+	// FSSync is the fixed snapshot-finalisation cost (temp-file rename,
+	// metadata flush, and the parent observing child completion).
+	// Calibration: Fig. 3's small-database floor — 1.8 ms total save time
+	// at 100 KB on μFork of which fork is only ~0.3 ms.
+	FSSync sim.Time
+	// PipeByte is the per-byte pipe transfer cost.
+	PipeByte sim.Time
+	// NetRTT is the simulated client round-trip latency for the HTTP
+	// workload (request arrival to socket readable).
+	NetRTT sim.Time
+
+	// --- process image defaults (pages) ---
+
+	// ImageTextPages etc. describe the process image layout used when a
+	// program is loaded; see kernel.Layout. StaticHeapPages is μFork's
+	// build-time static heap (§4.2): "each μprocess owns a private,
+	// statically-allocated heap with a build-time-configurable size".
+	// Calibration: Fig. 4/5 — "136.7 MB is the large static heap".
+	StaticHeapPages int
+	// RuntimeImagePages models the per-process runtime footprint a
+	// monolithic OS adds (dynamic linker, shared-library private pages,
+	// allocator arenas). Calibration: Fig. 8 — hello-world per-process
+	// memory is 0.29 MB on CheriBSD vs 0.13 MB on μFork; and §5.1 notes the
+	// "higher allocator memory consumption" of CheriBSD. The child's
+	// dynamic linker re-dirties these pages after fork (ChildStart).
+	RuntimeImagePages int
+	// VMImagePages is the whole-VM image Nephele duplicates per fork.
+	// Calibration: Fig. 8 — 1.6 MB per hello-world process on Nephele
+	// (≈280 OS-image pages plus the ~120-page application image).
+	VMImagePages int
+}
+
+// UFork returns the μFork machine model (Unikraft + CHERI on Morello,
+// running over bhyve as in §5).
+func UFork(cores int) *Machine {
+	return &Machine{
+		Kind:               KindUFork,
+		Name:               "uFork",
+		Cores:              cores,
+		SingleAddressSpace: true,
+		TrapSyscalls:       false,
+		BigKernelLock:      true,
+
+		SyscallEnter:      25, // sealed-cap jump, no exception (§4.4)
+		SyscallExit:       25, //
+		SyscallBase:       50, //
+		ArgValidate:       10, //
+		TocttouBytesPerNs: 30, // ~30 GB/s kernel memcpy
+		TocttouFixed:      150,
+
+		// Context1 calibration (Fig. 9): the counter reaches 100k in 245 ms
+		// and advances by 2 per pipe round trip → ~4.9 µs per round trip =
+		// ~2 blocking wake-ups + 4 sealed-capability syscalls.
+		CtxSwitch: 2330, // same-AS switch: registers + scheduler (no TLB work)
+
+		ForkFixed:    40 * sim.Microsecond, // region reserve + task/PID setup
+		PTECopy:      6,                    // bulk PTE-array memcpy
+		PageCopy:     440,
+		CapScanPage:  190,
+		CapRelocate:  25,
+		FDDup:        120,
+		RegRelocate:  600,
+		VMSpaceSetup: 0,
+		DomainCreate: 0,
+		PageFault:    800,
+
+		FSWriteNsPerKB: 1024, // ≈1 GB/s ram-disk path
+		FSReadNsPerKB:  1024,
+		FSSync:         1300 * sim.Microsecond,
+		PipeByte:       1,
+		NetRTT:         4 * sim.Microsecond,
+
+		StaticHeapPages:   35000, // 136.7 MB static heap (Fig. 4)
+		RuntimeImagePages: 0,
+		VMImagePages:      0,
+	}
+}
+
+// Posix returns the CheriBSD 23.11 baseline model.
+func Posix(cores int) *Machine {
+	return &Machine{
+		Kind:               KindPosix,
+		Name:               "CheriBSD",
+		Cores:              cores,
+		SingleAddressSpace: false,
+		TrapSyscalls:       true,
+		BigKernelLock:      false,
+		DemandPagedHeap:    true,
+
+		SyscallEnter:      150, // trap, exception entry, register save
+		SyscallExit:       150,
+		SyscallBase:       50,
+		ArgValidate:       10,
+		TocttouBytesPerNs: 30,
+		TocttouFixed:      150,
+
+		// Context1 calibration (Fig. 9): the counter reaches 100k in 419 ms
+		// → ~8.4 µs per round trip = ~2 blocking wake-ups + 4 trap
+		// syscalls; the switch includes the page-table change and TLB/
+		// cache maintenance (§2.2).
+		CtxSwitch: 3800,
+
+		ForkFixed:    20 * sim.Microsecond, // proc struct, PID, scheduler
+		PTECopy:      80,                   // per-page VM-object CoW walk
+		PageCopy:     440,
+		CapScanPage:  0, // no relocation scan: same VA in the child
+		CapRelocate:  0,
+		FDDup:        120,
+		RegRelocate:  0,
+		VMSpaceSetup: 160 * sim.Microsecond, // pmap + vm_map creation (Fig. 8)
+		DomainCreate: 0,
+		PageFault:    1400, // trap-based fault path
+
+		FSWriteNsPerKB: 1330, // pure-capability FS path slowdown (Fig. 3)
+		FSReadNsPerKB:  1330,
+		FSSync:         1300 * sim.Microsecond,
+		PipeByte:       1,
+		NetRTT:         4 * sim.Microsecond,
+
+		StaticHeapPages:   0,  // demand-paged heap
+		RuntimeImagePages: 70, // rtld + libc + jemalloc bootstrap pages (Fig. 8)
+		VMImagePages:      0,
+	}
+}
+
+// VMClone returns the Nephele baseline model (x86-64 Xen, numbers replayed
+// from the Nephele paper as in §5.2).
+func VMClone(cores int) *Machine {
+	return &Machine{
+		Kind:               KindVMClone,
+		Name:               "Nephele",
+		Cores:              cores,
+		SingleAddressSpace: false, // every clone is its own VM/address space
+		TrapSyscalls:       false, // unikernel-internal syscalls are calls
+		BigKernelLock:      true,
+
+		SyscallEnter:      30,
+		SyscallExit:       30,
+		SyscallBase:       150,
+		ArgValidate:       40,
+		TocttouBytesPerNs: 30,
+		TocttouFixed:      150,
+
+		CtxSwitch: 1750, // VM switch through the hypervisor
+
+		ForkFixed:    200 * sim.Microsecond, // hypercall path + P2M setup
+		PTECopy:      50,
+		PageCopy:     440,
+		CapScanPage:  0,
+		CapRelocate:  0,
+		FDDup:        120,
+		RegRelocate:  0,
+		VMSpaceSetup: 0,
+		DomainCreate: 10 * sim.Millisecond, // Xen domain creation (Fig. 8)
+		PageFault:    1400,
+
+		FSWriteNsPerKB: 1024,
+		FSReadNsPerKB:  1024,
+		FSSync:         1300 * sim.Microsecond,
+		PipeByte:       1,
+		NetRTT:         4 * sim.Microsecond,
+
+		StaticHeapPages:   0,
+		RuntimeImagePages: 0,
+		VMImagePages:      280, // with the app image ≈ 1.6 MB per clone (Fig. 8)
+	}
+}

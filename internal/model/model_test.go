@@ -1,0 +1,79 @@
+package model_test
+
+import (
+	"testing"
+
+	"ufork/internal/model"
+)
+
+func machines() []*model.Machine {
+	return []*model.Machine{model.UFork(2), model.Posix(2), model.VMClone(2)}
+}
+
+func TestMachineInvariants(t *testing.T) {
+	for _, m := range machines() {
+		if m.Cores != 2 {
+			t.Errorf("%s: cores = %d", m.Name, m.Cores)
+		}
+		if m.SyscallEnter <= 0 || m.SyscallExit <= 0 || m.SyscallBase <= 0 {
+			t.Errorf("%s: non-positive syscall costs", m.Name)
+		}
+		if m.CtxSwitch <= 0 || m.PageCopy <= 0 || m.PTECopy <= 0 || m.PageFault <= 0 {
+			t.Errorf("%s: non-positive core costs", m.Name)
+		}
+		if m.TocttouBytesPerNs <= 0 {
+			t.Errorf("%s: TOCTTOU bandwidth must be positive", m.Name)
+		}
+		if m.FSWriteNsPerKB <= 0 || m.FSReadNsPerKB <= 0 || m.FSSync <= 0 {
+			t.Errorf("%s: non-positive FS costs", m.Name)
+		}
+	}
+}
+
+func TestModelDistinguishers(t *testing.T) {
+	u, p, v := model.UFork(1), model.Posix(1), model.VMClone(1)
+	// The design-space distinctions of Table 1.
+	if !u.SingleAddressSpace || p.SingleAddressSpace || v.SingleAddressSpace {
+		t.Error("address-space knobs wrong")
+	}
+	if u.TrapSyscalls || !p.TrapSyscalls {
+		t.Error("syscall knobs wrong")
+	}
+	if !u.BigKernelLock || p.BigKernelLock {
+		t.Error("SMP knobs wrong")
+	}
+	// Cost orderings the paper's results rest on.
+	if u.SyscallEnter >= p.SyscallEnter {
+		t.Error("sealed-cap entry must be cheaper than a trap")
+	}
+	if u.CtxSwitch >= p.CtxSwitch {
+		t.Error("same-AS switch must be cheaper than an AS switch")
+	}
+	if u.PTECopy >= p.PTECopy {
+		t.Error("bulk PTE copy must be cheaper than the CoW object walk")
+	}
+	if v.DomainCreate == 0 || u.DomainCreate != 0 || p.DomainCreate != 0 {
+		t.Error("domain creation belongs to the VM-clone model only")
+	}
+	if p.VMSpaceSetup == 0 || u.VMSpaceSetup != 0 {
+		t.Error("vmspace setup belongs to the multi-AS model only")
+	}
+	// Only μFork pays relocation costs; only it gets the static heap.
+	if u.CapScanPage == 0 || p.CapScanPage != 0 {
+		t.Error("tag-scan cost belongs to μFork")
+	}
+	if u.StaticHeapPages == 0 || p.StaticHeapPages != 0 {
+		t.Error("static heap belongs to the unikernel")
+	}
+	if !p.DemandPagedHeap || u.DemandPagedHeap {
+		t.Error("demand paging belongs to the monolithic baseline")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if model.KindUFork.String() != "uFork" ||
+		model.KindPosix.String() != "CheriBSD" ||
+		model.KindVMClone.String() != "Nephele" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+func TestBookOccupiesCore(t *testing.T) {
+	// Two tasks booking on one core serialize, without switch surcharge.
+	e := NewEngine(1)
+	ends := make([]Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("booker", 0, func(tk *Task) {
+			tk.SwitchCost = 1000 // must NOT be charged by Book
+			tk.Book(100)
+			ends[i] = tk.Now()
+		})
+	}
+	e.Run()
+	lo, hi := ends[0], ends[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != 100 || hi != 200 {
+		t.Fatalf("ends = %v, want serialized [100 200] without surcharge", ends)
+	}
+}
+
+func TestOffcoreDoesNotOccupyCore(t *testing.T) {
+	// An offcore task's Work overlaps fully with an on-core task on a
+	// single-core engine.
+	e := NewEngine(1)
+	var onEnd, offEnd Time
+	e.Go("server", 0, func(tk *Task) {
+		tk.Work(1000)
+		onEnd = tk.Now()
+	})
+	e.Go("client", 0, func(tk *Task) {
+		tk.Offcore = true
+		tk.Work(1000)
+		tk.Book(1000)
+		offEnd = tk.Now()
+	})
+	e.Run()
+	if onEnd != 1000 {
+		t.Fatalf("server end = %d, want 1000 (no contention from offcore)", onEnd)
+	}
+	if offEnd != 2000 {
+		t.Fatalf("client end = %d, want 2000 (its own clock advances)", offEnd)
+	}
+}
+
+func TestAdvanceNeverOccupiesCore(t *testing.T) {
+	// Advance (pure waiting) overlaps with another task's Work.
+	e := NewEngine(1)
+	var a, b Time
+	e.Go("worker", 0, func(tk *Task) {
+		tk.Work(500)
+		a = tk.Now()
+	})
+	e.Go("waiter", 0, func(tk *Task) {
+		tk.Advance(500)
+		tk.Sync()
+		b = tk.Now()
+	})
+	e.Run()
+	if a != 500 || b != 500 {
+		t.Fatalf("ends = %d/%d, want 500/500 (wait overlaps compute)", a, b)
+	}
+}

@@ -1,0 +1,400 @@
+// Package sim is a deterministic virtual-time discrete-event engine.
+//
+// Every μprocess (and every baseline process) runs as a Task: a goroutine
+// whose progress is measured on a virtual clock in nanoseconds. Exactly one
+// task executes at any real-time instant — the engine hands control back
+// and forth over channels — so simulations are fully deterministic, yet
+// tasks overlap in *virtual* time across a configurable number of CPU
+// cores, which is how the multi-core throughput experiments (Figures 6 and
+// 7) are reproduced.
+//
+// The model:
+//
+//   - Task.Work(d) books d nanoseconds of compute on the earliest-available
+//     core (charging a context-switch cost when the core last ran a
+//     different task — this is where multi-address-space TLB flush costs
+//     surface);
+//   - Task.Sync() is a causality point: the engine always resumes the
+//     runnable task with the smallest clock, so cross-task interactions
+//     (pipes, wait/exit, locks) observe a consistent global order;
+//   - Task.Park()/Task.Unpark() implement blocking: a parked task resumes
+//     no earlier than the waker's clock at wake time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds.
+type Time uint64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", uint64(t))
+	}
+}
+
+// state of a task.
+type state int
+
+const (
+	stateNew state = iota
+	stateRunnable
+	stateRunning
+	stateParked
+	stateDone
+)
+
+// Task is one simulated thread of execution.
+type Task struct {
+	ID   int
+	Name string
+
+	eng    *Engine
+	now    Time
+	st     state
+	resume chan struct{}
+	fn     func(*Task)
+
+	// SwitchCost is charged by Work when this task lands on a core that
+	// last ran a different task. The kernel sets it per machine model.
+	SwitchCost Time
+
+	// Offcore marks a task that models an external agent (e.g. a load
+	// generator standing in for a client machine): its Work/Book calls
+	// advance its clock without occupying any of the simulated CPU cores.
+	Offcore bool
+}
+
+// Engine drives a set of tasks over virtual time.
+type Engine struct {
+	cores    *coreBank
+	tasks    []*Task
+	runq     runQueue
+	toSched  chan *Task
+	nextID   int
+	running  *Task
+	started  bool
+	finished bool
+}
+
+// NewEngine creates an engine with the given number of CPU cores.
+func NewEngine(cores int) *Engine {
+	if cores < 1 {
+		panic("sim: need at least one core")
+	}
+	return &Engine{
+		cores:   newCoreBank(cores),
+		toSched: make(chan *Task),
+	}
+}
+
+// Cores returns the number of simulated CPU cores.
+func (e *Engine) Cores() int { return e.cores.n() }
+
+// Go creates a task that will run fn starting at virtual time start. It
+// may be called before Run or from within a running task (e.g. by fork).
+func (e *Engine) Go(name string, start Time, fn func(*Task)) *Task {
+	t := &Task{
+		ID:     e.nextID,
+		Name:   name,
+		eng:    e,
+		now:    start,
+		st:     stateRunnable,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+	e.nextID++
+	e.tasks = append(e.tasks, t)
+	heap.Push(&e.runq, t)
+	go t.body()
+	return t
+}
+
+func (t *Task) body() {
+	<-t.resume
+	t.fn(t)
+	t.st = stateDone
+	t.eng.toSched <- t
+}
+
+// Run executes the simulation until every task has finished. It panics on
+// deadlock (parked tasks with an empty run queue), printing a task dump —
+// a deadlock is always a bug in the simulated kernel.
+func (e *Engine) Run() {
+	if e.started {
+		panic("sim: engine reused")
+	}
+	e.started = true
+	for e.runq.Len() > 0 {
+		t := heap.Pop(&e.runq).(*Task)
+		t.st = stateRunning
+		e.running = t
+		t.resume <- struct{}{}
+		<-e.toSched
+		e.running = nil
+	}
+	for _, t := range e.tasks {
+		if t.st != stateDone {
+			panic("sim: deadlock — " + e.dump())
+		}
+	}
+	e.finished = true
+}
+
+func (e *Engine) dump() string {
+	s := ""
+	for _, t := range e.tasks {
+		s += fmt.Sprintf("[task %d %q state=%d now=%v] ", t.ID, t.Name, t.st, t.now)
+	}
+	return s
+}
+
+// Now returns the task's virtual clock.
+func (t *Task) Now() Time { return t.now }
+
+// Advance moves the task's clock forward by d without consuming core time.
+// Use it for latencies that do not occupy a CPU (e.g. simulated device or
+// network delays); use Work for computation.
+func (t *Task) Advance(d Time) { t.now += d }
+
+// AdvanceTo moves the clock forward to at least abs.
+func (t *Task) AdvanceTo(abs Time) {
+	if abs > t.now {
+		t.now = abs
+	}
+}
+
+// Sync is a causality point: the task re-enters the scheduler so that any
+// other runnable task with a smaller clock executes first. Kernel entry
+// points call this before touching shared state.
+func (t *Task) Sync() {
+	t.check()
+	t.st = stateRunnable
+	heap.Push(&t.eng.runq, t)
+	t.eng.toSched <- t
+	<-t.resume
+	t.st = stateRunning
+}
+
+// Work books d nanoseconds of computation on the earliest-free core. The
+// task's clock advances to the end of the booked slot, which may be later
+// than now+d when all cores are busy — that is how core contention
+// throttles throughput. A context-switch cost is charged when the core
+// last ran a different task.
+func (t *Task) Work(d Time) {
+	t.Sync()
+	if t.Offcore {
+		t.now += d
+		return
+	}
+	start, core, switched := t.eng.cores.acquire(t.now, t.ID)
+	if switched {
+		start += t.SwitchCost
+	}
+	end := start + d
+	t.eng.cores.release(core, end, t.ID)
+	t.now = end
+}
+
+// Book reserves d nanoseconds of CPU on the earliest-free core without the
+// task-alternation surcharge — for scheduler work (context switches) whose
+// cost the kernel computes itself. Unlike Advance, booked time occupies a
+// core, so on a saturated core it does not overlap with other tasks' work.
+func (t *Task) Book(d Time) {
+	t.Sync()
+	if t.Offcore {
+		t.now += d
+		return
+	}
+	start, core, _ := t.eng.cores.acquire(t.now, t.ID)
+	end := start + d
+	t.eng.cores.release(core, end, t.ID)
+	t.now = end
+}
+
+// Park blocks the task until another task calls Unpark on it. The task
+// resumes with its clock advanced to at least the waker's clock.
+func (t *Task) Park() {
+	t.check()
+	t.st = stateParked
+	t.eng.toSched <- t
+	<-t.resume
+	t.st = stateRunning
+}
+
+// Unpark makes the parked target runnable no earlier than virtual time at.
+// It must be called from a running task (or before Run starts). Unparking
+// a task that is not parked panics: the simulated kernel must track
+// waiter state precisely.
+func (t *Task) Unpark(target *Task, at Time) {
+	if target.st != stateParked {
+		panic(fmt.Sprintf("sim: unpark of non-parked task %d (%q, state %d)", target.ID, target.Name, target.st))
+	}
+	target.AdvanceTo(at)
+	target.st = stateRunnable
+	heap.Push(&t.eng.runq, target)
+}
+
+// Parked reports whether the target is currently parked.
+func (e *Engine) Parked(target *Task) bool { return target.st == stateParked }
+
+func (t *Task) check() {
+	if t.eng.running != t {
+		panic(fmt.Sprintf("sim: task %d (%q) invoked engine op while not running", t.ID, t.Name))
+	}
+}
+
+// --- run queue: min-heap on (clock, id) ---
+
+type runQueue []*Task
+
+func (q runQueue) Len() int { return len(q) }
+func (q runQueue) Less(i, j int) bool {
+	if q[i].now != q[j].now {
+		return q[i].now < q[j].now
+	}
+	return q[i].ID < q[j].ID
+}
+func (q runQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *runQueue) Push(x interface{}) { *q = append(*q, x.(*Task)) }
+func (q *runQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+// --- core bank ---
+
+type coreBank struct {
+	freeAt []Time
+	last   []int
+}
+
+func newCoreBank(n int) *coreBank {
+	last := make([]int, n)
+	for i := range last {
+		last[i] = -1
+	}
+	return &coreBank{freeAt: make([]Time, n), last: last}
+}
+
+func (cb *coreBank) n() int { return len(cb.freeAt) }
+
+// acquire returns the start time for a compute slot beginning no earlier
+// than ready, the chosen core, and whether the core last ran another task.
+// Preference order: a core this task already ran on that is free, then any
+// free core, then the earliest-free core.
+func (cb *coreBank) acquire(ready Time, taskID int) (Time, int, bool) {
+	best := -1
+	for i := range cb.freeAt {
+		if cb.freeAt[i] <= ready && cb.last[i] == taskID {
+			return ready, i, false
+		}
+		if best == -1 || cb.freeAt[i] < cb.freeAt[best] {
+			best = i
+		}
+	}
+	start := ready
+	if cb.freeAt[best] > start {
+		start = cb.freeAt[best]
+	}
+	return start, best, cb.last[best] != taskID && cb.last[best] != -1
+}
+
+func (cb *coreBank) release(core int, at Time, taskID int) {
+	cb.freeAt[core] = at
+	cb.last[core] = taskID
+}
+
+// --- virtual-time lock ---
+
+// VLock is a virtual-time mutex: acquisition delays the caller's clock
+// until the lock's previous holder released it. It models Unikraft's "big
+// kernel lock" SMP serialization (§4.5).
+type VLock struct {
+	freeAt Time
+	// Contended counts acquisitions that had to wait.
+	Contended uint64
+	Acquired  uint64
+}
+
+// Lock acquires the lock at the caller's current clock, advancing the
+// clock to the lock's release time when contended.
+func (l *VLock) Lock(t *Task) {
+	t.Sync()
+	l.Acquired++
+	if l.freeAt > t.now {
+		l.Contended++
+		t.now = l.freeAt
+	}
+}
+
+// Unlock releases the lock at the caller's current clock.
+func (l *VLock) Unlock(t *Task) {
+	if t.now > l.freeAt {
+		l.freeAt = t.now
+	}
+}
+
+// --- wait queue ---
+
+// WaitQueue is a FIFO of parked tasks, the building block for pipes,
+// wait(2) and similar blocking kernel objects.
+type WaitQueue struct {
+	waiters []*Task
+}
+
+// Wait parks the calling task on the queue.
+func (w *WaitQueue) Wait(t *Task) {
+	w.waiters = append(w.waiters, t)
+	t.Park()
+}
+
+// WakeOne unparks the first waiter (if any) at time at; it returns whether
+// a task was woken.
+func (w *WaitQueue) WakeOne(t *Task, at Time) bool {
+	if len(w.waiters) == 0 {
+		return false
+	}
+	target := w.waiters[0]
+	w.waiters = w.waiters[1:]
+	t.Unpark(target, at)
+	return true
+}
+
+// WakeAll unparks every waiter at time at, in FIFO order.
+func (w *WaitQueue) WakeAll(t *Task, at Time) int {
+	n := len(w.waiters)
+	// Deterministic order: FIFO, tie-broken by the heap on (clock, id).
+	ws := w.waiters
+	w.waiters = nil
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+	for _, target := range ws {
+		t.Unpark(target, at)
+	}
+	return n
+}
+
+// Empty reports whether no task is waiting.
+func (w *WaitQueue) Empty() bool { return len(w.waiters) == 0 }

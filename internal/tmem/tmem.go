@@ -1,0 +1,306 @@
+// Package tmem implements tagged physical memory: the DRAM + tag-plane
+// substrate CHERI systems run on.
+//
+// Memory is organised in 4 KiB frames. Each frame carries, beside its data
+// bytes, one validity-tag bit per 16-byte capability granule, plus the
+// authoritative capability value for tagged granules. The tag plane is the
+// mechanism μFork exploits for pointer identification: a granule whose tag
+// is set is — by hardware guarantee — a genuine capability, so the
+// relocation pass can find every absolute memory reference in a page by a
+// 16-byte-stride tag scan with zero false positives (§3.4, block 3).
+//
+// Byte-granularity writes clear the tags of every granule they touch,
+// modelling the hardware rule that partial overwrites destroy capability
+// validity.
+package tmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ufork/internal/cap"
+)
+
+// PageSize is the frame/page size in bytes.
+const PageSize = 4096
+
+// GranulesPerPage is the number of capability granules in one frame.
+const GranulesPerPage = PageSize / cap.GranuleSize
+
+// PFN is a physical frame number.
+type PFN uint64
+
+// NoFrame is the sentinel invalid PFN.
+const NoFrame PFN = ^PFN(0)
+
+// Errors reported by the memory subsystem.
+var (
+	ErrOutOfMemory  = errors.New("tmem: out of physical frames")
+	ErrBadFrame     = errors.New("tmem: access to unallocated frame")
+	ErrUnaligned    = errors.New("tmem: capability access not granule aligned")
+	ErrFreeFree     = errors.New("tmem: double free of frame")
+	ErrPageOverflow = errors.New("tmem: access crosses frame boundary")
+)
+
+// Frame is one 4 KiB physical frame with its tag plane.
+//
+// For tagged granules the authoritative capability value lives in caps;
+// the data bytes hold the capability's cursor (so integer reads of a
+// pointer see its address, as on real hardware) followed by a descriptive
+// pattern. Clearing the tag leaves the bytes behind but revokes authority.
+type Frame struct {
+	Data [PageSize]byte
+	tags [GranulesPerPage]bool
+	// caps is allocated lazily on the first capability store: most frames
+	// hold plain data and never pay for a capability plane.
+	caps *[GranulesPerPage]cap.Capability
+}
+
+// Memory is a bank of tagged physical frames with a free-list allocator.
+type Memory struct {
+	frames    []*Frame
+	freeList  []PFN
+	allocated int
+	peak      int
+	totalOps  uint64 // statistics: byte-level read/write volume
+}
+
+// New creates a memory bank with the given number of physical frames.
+func New(nframes int) *Memory {
+	m := &Memory{frames: make([]*Frame, nframes)}
+	m.freeList = make([]PFN, 0, nframes)
+	// Hand out low frames first for reproducibility.
+	for i := nframes - 1; i >= 0; i-- {
+		m.freeList = append(m.freeList, PFN(i))
+	}
+	return m
+}
+
+// NumFrames returns the total number of physical frames.
+func (m *Memory) NumFrames() int { return len(m.frames) }
+
+// Allocated returns the number of frames currently allocated.
+func (m *Memory) Allocated() int { return m.allocated }
+
+// PeakAllocated returns the high-water mark of allocated frames.
+func (m *Memory) PeakAllocated() int { return m.peak }
+
+// AllocFrame allocates a zeroed frame and returns its PFN.
+func (m *Memory) AllocFrame() (PFN, error) {
+	if len(m.freeList) == 0 {
+		return NoFrame, ErrOutOfMemory
+	}
+	pfn := m.freeList[len(m.freeList)-1]
+	m.freeList = m.freeList[:len(m.freeList)-1]
+	m.frames[pfn] = &Frame{}
+	m.allocated++
+	if m.allocated > m.peak {
+		m.peak = m.allocated
+	}
+	return pfn, nil
+}
+
+// FreeFrame returns a frame to the allocator.
+func (m *Memory) FreeFrame(pfn PFN) error {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return err
+	}
+	_ = f
+	m.frames[pfn] = nil
+	m.freeList = append(m.freeList, pfn)
+	m.allocated--
+	return nil
+}
+
+func (m *Memory) frame(pfn PFN) (*Frame, error) {
+	if pfn == NoFrame || int(pfn) >= len(m.frames) || m.frames[pfn] == nil {
+		return nil, fmt.Errorf("%w: pfn %d", ErrBadFrame, pfn)
+	}
+	return m.frames[pfn], nil
+}
+
+// checkRange validates that [off, off+n) lies within one frame.
+func checkRange(off, n uint64) error {
+	if off+n > PageSize || off+n < off {
+		return fmt.Errorf("%w: off=%d n=%d", ErrPageOverflow, off, n)
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes at offset off of frame pfn into buf.
+func (m *Memory) ReadBytes(pfn PFN, off uint64, buf []byte) error {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return err
+	}
+	if err := checkRange(off, uint64(len(buf))); err != nil {
+		return err
+	}
+	copy(buf, f.Data[off:])
+	m.totalOps += uint64(len(buf))
+	return nil
+}
+
+// WriteBytes stores buf at offset off of frame pfn, clearing the tags of
+// every granule the write touches.
+func (m *Memory) WriteBytes(pfn PFN, off uint64, buf []byte) error {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return err
+	}
+	if err := checkRange(off, uint64(len(buf))); err != nil {
+		return err
+	}
+	copy(f.Data[off:], buf)
+	first := off / cap.GranuleSize
+	last := (off + uint64(len(buf)) - 1) / cap.GranuleSize
+	for g := first; g <= last; g++ {
+		f.tags[g] = false
+	}
+	m.totalOps += uint64(len(buf))
+	return nil
+}
+
+// LoadCap loads the capability at granule-aligned offset off of frame pfn.
+// If the granule's tag is clear the returned capability is untagged (its
+// byte pattern reinterpreted as an invalid capability), exactly as on
+// hardware.
+func (m *Memory) LoadCap(pfn PFN, off uint64) (cap.Capability, error) {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return cap.Null(), err
+	}
+	if off%cap.GranuleSize != 0 {
+		return cap.Null(), ErrUnaligned
+	}
+	if err := checkRange(off, cap.GranuleSize); err != nil {
+		return cap.Null(), err
+	}
+	g := off / cap.GranuleSize
+	if !f.tags[g] || f.caps == nil {
+		// Untagged load: reconstruct an invalid capability whose cursor is
+		// whatever integer the bytes hold.
+		addr := binary.LittleEndian.Uint64(f.Data[off:])
+		return cap.Null().SetAddr(addr).Untag(), nil
+	}
+	return f.caps[g], nil
+}
+
+// StoreCap stores capability c at granule-aligned offset off of frame pfn.
+// Tagged capabilities set the granule tag; untagged ones clear it. The
+// data bytes receive the capability's cursor so that subsequent integer
+// loads observe the pointer's address.
+func (m *Memory) StoreCap(pfn PFN, off uint64, c cap.Capability) error {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return err
+	}
+	if off%cap.GranuleSize != 0 {
+		return ErrUnaligned
+	}
+	if err := checkRange(off, cap.GranuleSize); err != nil {
+		return err
+	}
+	g := off / cap.GranuleSize
+	binary.LittleEndian.PutUint64(f.Data[off:], c.Addr())
+	binary.LittleEndian.PutUint64(f.Data[off+8:], c.Base())
+	f.tags[g] = c.Tag()
+	if c.Tag() {
+		if f.caps == nil {
+			f.caps = new([GranulesPerPage]cap.Capability)
+		}
+		f.caps[g] = c
+	} else if f.caps != nil {
+		f.caps[g] = cap.Null()
+	}
+	return nil
+}
+
+// TagAt reports the validity tag of the granule at offset off.
+func (m *Memory) TagAt(pfn PFN, off uint64) (bool, error) {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return false, err
+	}
+	if off%cap.GranuleSize != 0 {
+		return false, ErrUnaligned
+	}
+	return f.tags[off/cap.GranuleSize], nil
+}
+
+// TaggedGranules returns the offsets of every tagged granule in frame pfn:
+// the 16-byte-stride tag scan at the heart of μFork's relocation pass.
+func (m *Memory) TaggedGranules(pfn PFN) ([]uint64, error) {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for g, tag := range f.tags {
+		if tag {
+			out = append(out, uint64(g)*cap.GranuleSize)
+		}
+	}
+	return out, nil
+}
+
+// CountTags returns the number of tagged granules in frame pfn.
+func (m *Memory) CountTags(pfn PFN) (int, error) {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, tag := range f.tags {
+		if tag {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// CopyFrame copies the full contents of frame src — data bytes AND the tag
+// plane with its capabilities — into frame dst. This is the page-copy
+// primitive used by every copy-on-* strategy; the tag plane travels with
+// the data exactly as on Morello.
+func (m *Memory) CopyFrame(dst, src PFN) error {
+	fs, err := m.frame(src)
+	if err != nil {
+		return err
+	}
+	fd, err := m.frame(dst)
+	if err != nil {
+		return err
+	}
+	fd.Data = fs.Data
+	fd.tags = fs.tags
+	if fs.caps != nil {
+		caps := *fs.caps
+		fd.caps = &caps
+	} else {
+		fd.caps = nil
+	}
+	return nil
+}
+
+// ZeroFrame clears a frame's data and tags.
+func (m *Memory) ZeroFrame(pfn PFN) error {
+	f, err := m.frame(pfn)
+	if err != nil {
+		return err
+	}
+	*f = Frame{}
+	return nil
+}
+
+// RewriteCap replaces the capability at offset off with c without touching
+// neighbouring granules. It is the in-place relocation primitive.
+func (m *Memory) RewriteCap(pfn PFN, off uint64, c cap.Capability) error {
+	return m.StoreCap(pfn, off, c)
+}
+
+// BytesMoved returns the cumulative byte read/write volume, used by cost
+// accounting.
+func (m *Memory) BytesMoved() uint64 { return m.totalOps }

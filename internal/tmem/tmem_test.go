@@ -1,0 +1,283 @@
+package tmem
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ufork/internal/cap"
+)
+
+func TestAllocFree(t *testing.T) {
+	m := New(4)
+	pfns := make([]PFN, 0, 4)
+	for i := 0; i < 4; i++ {
+		pfn, err := m.AllocFrame()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		pfns = append(pfns, pfn)
+	}
+	if m.Allocated() != 4 || m.PeakAllocated() != 4 {
+		t.Fatalf("allocated=%d peak=%d", m.Allocated(), m.PeakAllocated())
+	}
+	if _, err := m.AllocFrame(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	for _, pfn := range pfns {
+		if err := m.FreeFrame(pfn); err != nil {
+			t.Fatalf("free %d: %v", pfn, err)
+		}
+	}
+	if m.Allocated() != 0 {
+		t.Fatalf("allocated=%d after freeing all", m.Allocated())
+	}
+	if err := m.FreeFrame(pfns[0]); err == nil {
+		t.Fatal("double free should fail")
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := New(2)
+	pfn, _ := m.AllocFrame()
+	msg := []byte("the quick brown fox")
+	if err := m.WriteBytes(pfn, 100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := m.ReadBytes(pfn, 100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	// Cross-page access rejected.
+	if err := m.WriteBytes(pfn, PageSize-4, msg); !errors.Is(err, ErrPageOverflow) {
+		t.Fatalf("expected overflow, got %v", err)
+	}
+	// Unallocated frame rejected.
+	if err := m.ReadBytes(PFN(1), 0, got); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("expected bad frame, got %v", err)
+	}
+}
+
+func TestCapStoreLoad(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	c := cap.Root(0x10000, 0x1000).SetAddr(0x10400).WithPerms(cap.PermData)
+	if err := m.StoreCap(pfn, 64, c); err != nil {
+		t.Fatal(err)
+	}
+	tag, err := m.TagAt(pfn, 64)
+	if err != nil || !tag {
+		t.Fatalf("tag=%v err=%v", tag, err)
+	}
+	got, err := m.LoadCap(pfn, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c) {
+		t.Fatalf("got %v want %v", got, c)
+	}
+	// Misaligned capability access rejected.
+	if err := m.StoreCap(pfn, 65, c); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("expected unaligned, got %v", err)
+	}
+	if _, err := m.LoadCap(pfn, 65); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("expected unaligned load, got %v", err)
+	}
+}
+
+func TestByteWriteClearsTag(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	c := cap.Root(0x10000, 0x1000).SetAddr(0x10420)
+	if err := m.StoreCap(pfn, 32, c); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite one byte in the middle of the granule.
+	if err := m.WriteBytes(pfn, 40, []byte{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	tag, _ := m.TagAt(pfn, 32)
+	if tag {
+		t.Fatal("byte write must clear the granule tag")
+	}
+	got, err := m.LoadCap(pfn, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag() {
+		t.Fatal("loading an overwritten granule must yield an untagged cap")
+	}
+	// The integer bytes remain readable: first 8 bytes hold the cursor.
+	buf := make([]byte, 8)
+	if err := m.ReadBytes(pfn, 32, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntaggedLoadSeesAddressBytes(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	c := cap.Root(0x2000, 0x100).SetAddr(0x2040)
+	if err := m.StoreCap(pfn, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	// An integer read of the pointer sees its address.
+	buf := make([]byte, 8)
+	if err := m.ReadBytes(pfn, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	var addr uint64
+	for i := 7; i >= 0; i-- {
+		addr = addr<<8 | uint64(buf[i])
+	}
+	if addr != 0x2040 {
+		t.Fatalf("integer view of pointer = %#x, want 0x2040", addr)
+	}
+}
+
+func TestTaggedGranulesScan(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	offs := []uint64{0, 256, 4080}
+	for _, off := range offs {
+		c := cap.Root(uint64(off)*16+0x1000, 64)
+		if err := m.StoreCap(pfn, off, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.TaggedGranules(pfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(offs) {
+		t.Fatalf("found %d tagged granules, want %d", len(got), len(offs))
+	}
+	for i := range offs {
+		if got[i] != offs[i] {
+			t.Fatalf("granule %d at %d, want %d", i, got[i], offs[i])
+		}
+	}
+	n, _ := m.CountTags(pfn)
+	if n != 3 {
+		t.Fatalf("CountTags = %d", n)
+	}
+}
+
+func TestCopyFramePreservesTags(t *testing.T) {
+	m := New(2)
+	src, _ := m.AllocFrame()
+	dst, _ := m.AllocFrame()
+	c := cap.Root(0x8000, 0x800).SetAddr(0x8100)
+	if err := m.StoreCap(src, 128, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(src, 512, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CopyFrame(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.LoadCap(dst, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c) {
+		t.Fatal("tag plane must travel with the copy")
+	}
+	buf := make([]byte, 7)
+	if err := m.ReadBytes(dst, 512, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("data not copied: %q", buf)
+	}
+	// The copy is independent of the source.
+	if err := m.WriteBytes(src, 512, []byte("XXXXXXX")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadBytes(dst, 512, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Fatal("copy aliases source")
+	}
+}
+
+func TestZeroFrame(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	if err := m.StoreCap(pfn, 0, cap.Root(0, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ZeroFrame(pfn); err != nil {
+		t.Fatal(err)
+	}
+	tag, _ := m.TagAt(pfn, 0)
+	if tag {
+		t.Fatal("zeroing must clear tags")
+	}
+}
+
+// Property: store/load round-trips for arbitrary offsets and payloads.
+func TestRoundTripProperty(t *testing.T) {
+	m := New(8)
+	pfn, _ := m.AllocFrame()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		off := uint64(r.Intn(PageSize - 64))
+		n := r.Intn(64) + 1
+		buf := make([]byte, n)
+		r.Read(buf)
+		if err := m.WriteBytes(pfn, off, buf); err != nil {
+			return false
+		}
+		got := make([]byte, n)
+		if err := m.ReadBytes(pfn, off, got); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any interleaving of capability stores and byte writes,
+// every tagged granule holds a tagged capability (no stale tags survive a
+// byte overwrite). This is the soundness half of tag-directed pointer
+// identification.
+func TestTagSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(1)
+		pfn, _ := m.AllocFrame()
+		for i := 0; i < 100; i++ {
+			if r.Intn(2) == 0 {
+				g := uint64(r.Intn(GranulesPerPage)) * cap.GranuleSize
+				_ = m.StoreCap(pfn, g, cap.Root(uint64(r.Intn(1<<20)), 64))
+			} else {
+				off := uint64(r.Intn(PageSize - 8))
+				_ = m.WriteBytes(pfn, off, []byte{1, 2, 3})
+			}
+		}
+		offs, err := m.TaggedGranules(pfn)
+		if err != nil {
+			return false
+		}
+		for _, off := range offs {
+			c, err := m.LoadCap(pfn, off)
+			if err != nil || !c.Tag() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package vm implements the virtual-memory substrate: page tables with
+// per-PTE permissions, reference-counted frame sharing, demand faults, and
+// the Morello-style "fault on capability load" PTE bit that μFork's
+// Copy-on-Pointer-Access strategy requires (§4.2).
+//
+// A single-address-space OS uses one AddressSpace shared by the kernel and
+// every μprocess; a multi-address-space baseline (CheriBSD-like) creates
+// one AddressSpace per process. All copy-on-write-style sharing is
+// expressed with reference-counted Page descriptors: a write to a page with
+// more than one reference triggers a copy, a write to the last reference
+// simply takes ownership.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ufork/internal/tmem"
+)
+
+// PageSize re-exports the frame size for convenience.
+const PageSize = tmem.PageSize
+
+// VPN is a virtual page number.
+type VPN uint64
+
+// VPNOf returns the virtual page number containing va.
+func VPNOf(va uint64) VPN { return VPN(va / PageSize) }
+
+// PageOff returns the offset of va within its page.
+func PageOff(va uint64) uint64 { return va % PageSize }
+
+// Prot is a PTE permission set.
+type Prot uint8
+
+const (
+	// ProtRead permits data loads.
+	ProtRead Prot = 1 << iota
+	// ProtWrite permits data stores.
+	ProtWrite
+	// ProtExec permits instruction fetch.
+	ProtExec
+	// ProtCapLoadFault makes loads of tagged (capability) granules fault
+	// while permitting plain data loads: the Morello load-side barrier bit
+	// CoPA is built on. Plain reads proceed; a capability load traps so the
+	// kernel can copy + relocate the page first.
+	ProtCapLoadFault
+)
+
+// ProtRW is read+write.
+const ProtRW = ProtRead | ProtWrite
+
+// ProtRX is read+execute.
+const ProtRX = ProtRead | ProtExec
+
+// FaultKind classifies page faults.
+type FaultKind int
+
+const (
+	// FaultNone means the access translated cleanly.
+	FaultNone FaultKind = iota
+	// FaultNotMapped means no PTE covers the address.
+	FaultNotMapped
+	// FaultNoRead means a load hit a page without ProtRead (Copy-on-Access
+	// pages are mapped with no permissions at all).
+	FaultNoRead
+	// FaultWriteProtect means a store hit a read-only page (CoW/CoPA).
+	FaultWriteProtect
+	// FaultCapLoad means a capability load hit a ProtCapLoadFault page.
+	FaultCapLoad
+	// FaultNoExec means instruction fetch from a non-executable page.
+	FaultNoExec
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNotMapped:
+		return "not-mapped"
+	case FaultNoRead:
+		return "no-read"
+	case FaultWriteProtect:
+		return "write-protect"
+	case FaultCapLoad:
+		return "cap-load"
+	case FaultNoExec:
+		return "no-exec"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault describes a page fault.
+type Fault struct {
+	Kind FaultKind
+	VA   uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: %v fault at %#x", f.Kind, f.VA)
+}
+
+// Access classifies a memory access for translation purposes.
+type Access int
+
+const (
+	// AccRead is a plain data load.
+	AccRead Access = iota
+	// AccWrite is a data store.
+	AccWrite
+	// AccCapRead is a capability (tagged granule) load.
+	AccCapRead
+	// AccCapWrite is a capability store (a store for protection purposes).
+	AccCapWrite
+	// AccExec is instruction fetch.
+	AccExec
+)
+
+// Page is a reference-counted descriptor of one physical frame. Multiple
+// PTEs (across or within address spaces) may reference the same Page; the
+// reference count drives copy-on-write decisions.
+type Page struct {
+	PFN  tmem.PFN
+	Refs int
+}
+
+// PTE is a page-table entry.
+type PTE struct {
+	Page *Page
+	Prot Prot
+}
+
+// Errors returned by mapping operations.
+var (
+	ErrAlreadyMapped = errors.New("vm: page already mapped")
+	ErrNotMapped     = errors.New("vm: page not mapped")
+)
+
+// AddressSpace is one page table. The zero value is not usable; call
+// NewAddressSpace.
+type AddressSpace struct {
+	mem   *tmem.Memory
+	table map[VPN]*PTE
+
+	// Stats counts fault activity for experiment accounting.
+	Stats Stats
+}
+
+// Stats aggregates fault and copy counters per address space.
+type Stats struct {
+	Faults        map[FaultKind]uint64
+	PagesCopied   uint64 // frames duplicated by fault handling
+	PagesAdopted  uint64 // last-reference pages taken over without a copy
+	CapsRelocated uint64 // capabilities rewritten by relocation passes
+}
+
+// NewAddressSpace creates an empty address space over physical memory mem.
+func NewAddressSpace(mem *tmem.Memory) *AddressSpace {
+	return &AddressSpace{
+		mem:   mem,
+		table: make(map[VPN]*PTE),
+		Stats: Stats{Faults: make(map[FaultKind]uint64)},
+	}
+}
+
+// Mem returns the backing physical memory.
+func (as *AddressSpace) Mem() *tmem.Memory { return as.mem }
+
+// MappedPages returns the number of mapped pages.
+func (as *AddressSpace) MappedPages() int { return len(as.table) }
+
+// Map installs a PTE for vpn referencing page with protection prot,
+// incrementing the page's reference count.
+func (as *AddressSpace) Map(vpn VPN, page *Page, prot Prot) error {
+	if _, ok := as.table[vpn]; ok {
+		return fmt.Errorf("%w: vpn %#x", ErrAlreadyMapped, vpn)
+	}
+	page.Refs++
+	as.table[vpn] = &PTE{Page: page, Prot: prot}
+	return nil
+}
+
+// MapNew allocates a fresh zeroed frame, maps it at vpn and returns its
+// page descriptor.
+func (as *AddressSpace) MapNew(vpn VPN, prot Prot) (*Page, error) {
+	pfn, err := as.mem.AllocFrame()
+	if err != nil {
+		return nil, err
+	}
+	page := &Page{PFN: pfn}
+	if err := as.Map(vpn, page, prot); err != nil {
+		_ = as.mem.FreeFrame(pfn)
+		return nil, err
+	}
+	return page, nil
+}
+
+// Unmap removes the PTE for vpn, dropping the page reference and freeing
+// the frame when the last reference dies.
+func (as *AddressSpace) Unmap(vpn VPN) error {
+	pte, ok := as.table[vpn]
+	if !ok {
+		return fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
+	}
+	delete(as.table, vpn)
+	pte.Page.Refs--
+	if pte.Page.Refs == 0 {
+		return as.mem.FreeFrame(pte.Page.PFN)
+	}
+	return nil
+}
+
+// Lookup returns the PTE for vpn, or nil when unmapped.
+func (as *AddressSpace) Lookup(vpn VPN) *PTE { return as.table[vpn] }
+
+// Protect replaces the protection bits of an existing mapping.
+func (as *AddressSpace) Protect(vpn VPN, prot Prot) error {
+	pte, ok := as.table[vpn]
+	if !ok {
+		return fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
+	}
+	pte.Prot = prot
+	return nil
+}
+
+// Translate resolves va for the given access. On success it returns the
+// backing PFN and in-page offset; on failure a *Fault describing why.
+// Fault statistics are recorded.
+func (as *AddressSpace) Translate(va uint64, acc Access) (tmem.PFN, uint64, *Fault) {
+	pte, ok := as.table[VPNOf(va)]
+	if !ok {
+		return as.fault(FaultNotMapped, va)
+	}
+	switch acc {
+	case AccRead:
+		if pte.Prot&ProtRead == 0 {
+			return as.fault(FaultNoRead, va)
+		}
+	case AccCapRead:
+		if pte.Prot&ProtRead == 0 {
+			return as.fault(FaultNoRead, va)
+		}
+		if pte.Prot&ProtCapLoadFault != 0 {
+			return as.fault(FaultCapLoad, va)
+		}
+	case AccWrite, AccCapWrite:
+		if pte.Prot&ProtWrite == 0 {
+			if pte.Prot&ProtRead == 0 && pte.Prot&ProtExec == 0 {
+				return as.fault(FaultNoRead, va)
+			}
+			return as.fault(FaultWriteProtect, va)
+		}
+	case AccExec:
+		if pte.Prot&ProtExec == 0 {
+			return as.fault(FaultNoExec, va)
+		}
+	}
+	return pte.Page.PFN, PageOff(va), nil
+}
+
+func (as *AddressSpace) fault(kind FaultKind, va uint64) (tmem.PFN, uint64, *Fault) {
+	as.Stats.Faults[kind]++
+	return tmem.NoFrame, 0, &Fault{Kind: kind, VA: va}
+}
+
+// MakePrivate gives vpn its own private copy of the underlying frame if it
+// is currently shared, or adopts the existing frame when this mapping holds
+// the last reference. It returns the (possibly new) page descriptor and
+// whether a physical copy happened. This is the CoW/CoA/CoPA resolution
+// primitive.
+func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
+	pte, ok := as.table[vpn]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
+	}
+	if pte.Page.Refs == 1 {
+		// Last reference: adopt in place, no copy needed.
+		pte.Prot = prot
+		as.Stats.PagesAdopted++
+		return pte.Page, false, nil
+	}
+	pfn, err := as.mem.AllocFrame()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := as.mem.CopyFrame(pfn, pte.Page.PFN); err != nil {
+		_ = as.mem.FreeFrame(pfn)
+		return nil, false, err
+	}
+	pte.Page.Refs--
+	pte.Page = &Page{PFN: pfn, Refs: 1}
+	pte.Prot = prot
+	as.Stats.PagesCopied++
+	return pte.Page, true, nil
+}
+
+// VPNs returns all mapped virtual page numbers in ascending order.
+func (as *AddressSpace) VPNs() []VPN {
+	out := make([]VPN, 0, len(as.table))
+	for vpn := range as.table {
+		out = append(out, vpn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RangeVPNs calls fn for each mapped page in [startVPN, endVPN), in
+// ascending order.
+func (as *AddressSpace) RangeVPNs(startVPN, endVPN VPN, fn func(VPN, *PTE)) {
+	for _, vpn := range as.VPNs() {
+		if vpn >= startVPN && vpn < endVPN {
+			fn(vpn, as.table[vpn])
+		}
+	}
+}
+
+// RegionUsage summarises memory occupancy of a virtual address range.
+type RegionUsage struct {
+	MappedPages  int
+	PrivatePages int // pages whose frame has exactly one reference
+	SharedPages  int
+	PRSSBytes    uint64 // proportional set size: 4 KiB / refs per page
+	PrivateBytes uint64 // private pages × 4 KiB
+}
+
+// Usage computes occupancy statistics for the pages of [base, base+size).
+func (as *AddressSpace) Usage(base, size uint64) RegionUsage {
+	var u RegionUsage
+	as.RangeVPNs(VPNOf(base), VPNOf(base+size-1)+1, func(_ VPN, pte *PTE) {
+		u.MappedPages++
+		if pte.Page.Refs == 1 {
+			u.PrivatePages++
+			u.PRSSBytes += PageSize
+		} else {
+			u.SharedPages++
+			u.PRSSBytes += PageSize / uint64(pte.Page.Refs)
+		}
+	})
+	u.PrivateBytes = uint64(u.PrivatePages) * PageSize
+	return u
+}
+
+// UnmapRange unmaps every mapped page in [base, base+size).
+func (as *AddressSpace) UnmapRange(base, size uint64) error {
+	start, end := VPNOf(base), VPNOf(base+size-1)+1
+	for _, vpn := range as.VPNs() {
+		if vpn >= start && vpn < end {
+			if err := as.Unmap(vpn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
