@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver] [-full]
+//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist] [-full]
+//	            [-trace out.json] [-metrics out.json]
 //
 // Quick mode (default) uses reduced database sizes, windows and iteration
 // counts; -full runs the paper's parameters (100 MB databases, 1000
 // spawns, 100k pipe exchanges, second-long throughput windows).
+//
+// -trace enables the observability layer and writes a Chrome trace_event
+// JSON of every kernel the run boots (open in chrome://tracing or
+// Perfetto). -metrics enables it too and writes a JSON snapshot of the
+// aggregated counters and latency histograms next to the rendered tables.
 package main
 
 import (
@@ -16,13 +22,20 @@ import (
 	"os"
 
 	"ufork/internal/bench"
+	"ufork/internal/obs"
 	"ufork/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist)")
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
+	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		obs.Enable()
+	}
 
 	sizes := bench.RedisSizesQuick
 	faasWindow := 200 * sim.Millisecond
@@ -85,9 +98,26 @@ func main() {
 		fmt.Println(bench.RenderForkServer(rows))
 		ran = true
 	}
+	if want("forkhist") {
+		iters := bench.ForkHistItersQuick
+		if *full {
+			iters = bench.ForkHistItersFull
+		}
+		rows, err := bench.ForkHist(iters)
+		die(err)
+		fmt.Println(bench.RenderForkHist(rows))
+		ran = true
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		die(obs.Default.WriteTraceFile(*tracePath))
+	}
+	if *metricsPath != "" {
+		die(obs.Default.WriteMetricsFile(*metricsPath))
 	}
 }
 

@@ -12,6 +12,11 @@
 //
 // The -forks flag demonstrates the Zygote pattern: each child attaches to
 // the inherited (relocated) runtime and calls main() again.
+//
+// -trace writes a Chrome trace_event JSON of the run (syscalls, fork
+// phases, faults — open in chrome://tracing or Perfetto); -metrics writes
+// a JSON snapshot of the kernel's counters and latency histograms. Either
+// flag enables the observability layer.
 package main
 
 import (
@@ -25,12 +30,19 @@ import (
 	"ufork/internal/alloc"
 	"ufork/internal/kernel"
 	"ufork/internal/minipy"
+	"ufork/internal/obs"
 )
 
 func main() {
 	forks := flag.Int("forks", 0, "fork N children that re-run main() on the warm runtime")
 	stats := flag.Bool("stats", false, "print kernel statistics after the run")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
+	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		obs.Enable()
+	}
 
 	var src []byte
 	var err error
@@ -106,7 +118,7 @@ func main() {
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "[virtual time %v, %d syscalls, %d forks, %d page faults]\n",
-				p.Now(), k.Stats.Syscalls, k.Stats.Forks, k.Stats.PageFaults)
+				p.Now(), k.Stats.Syscalls.Value(), k.Stats.Forks.Value(), k.Stats.PageFaults.Value())
 		}
 	}); err != nil {
 		log.Fatal(err)
@@ -115,5 +127,15 @@ func main() {
 
 	if stdout != nil {
 		os.Stdout.Write(stdout.Out)
+	}
+	if *tracePath != "" {
+		if err := obs.Default.WriteTraceFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := obs.Default.WriteMetricsFile(*metricsPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"ufork/internal/cap"
 	"ufork/internal/kernel"
+	"ufork/internal/obs"
 )
 
 const (
@@ -146,6 +147,7 @@ func (a *Allocator) Alloc(n uint64) (cap.Capability, error) {
 			if err := a.p.StoreU64(a.p.MetaCap, offUsedHead, cur); err != nil {
 				return cap.Null(), err
 			}
+			a.churn("alloc.reuse", size)
 			return c, nil
 		}
 		prev, cur = cur, next
@@ -198,7 +200,19 @@ func (a *Allocator) Alloc(n uint64) (cap.Capability, error) {
 	if err := a.p.StoreU64(a.p.MetaCap, offNumBlocks, numBlocks+1); err != nil {
 		return cap.Null(), err
 	}
+	a.churn("alloc.fresh", n)
 	return c, nil
+}
+
+// churn records allocator activity (op count + bytes) in the owning
+// kernel's metrics registry when observability is on.
+func (a *Allocator) churn(op string, bytes uint64) {
+	if obs.Disabled() {
+		return
+	}
+	reg := a.p.Kernel().Obs.Reg
+	reg.Counter(op).Inc()
+	reg.Counter(op + ".bytes").Add(bytes)
 }
 
 // Free returns a block to the free list. The block is identified by the
@@ -237,6 +251,7 @@ func (a *Allocator) Free(c cap.Capability) error {
 			if err := a.storeBlock(cur-1, bc, size, freeHead); err != nil {
 				return err
 			}
+			a.churn("alloc.free", size)
 			return a.p.StoreU64(a.p.MetaCap, offFreeHead, cur)
 		}
 		prev, cur = cur, next

@@ -13,6 +13,7 @@ import (
 	"ufork/internal/core"
 	"ufork/internal/kernel"
 	"ufork/internal/model"
+	"ufork/internal/obs"
 	"ufork/internal/sim"
 )
 
@@ -83,6 +84,23 @@ func runRoot(k *kernel.Kernel, spec kernel.ProgramSpec, entry func(*kernel.Proc)
 	}
 	k.Run()
 	return innerErr
+}
+
+// foldRun accumulates a finished run's kernel and address-space counters
+// into the process-wide obs registry under prefix, so `-metrics` snapshots
+// carry fault/copy/relocation counts alongside the rendered tables. The
+// per-process address spaces of the multi-AS baselines die with their
+// procs; for those only the kernel-level counters fold.
+func foldRun(prefix string, k *kernel.Kernel) {
+	reg := obs.Default.Reg
+	for name, v := range k.Stats.Snapshot() {
+		reg.Counter(prefix + "." + name).Add(v)
+	}
+	if k.SharedAS != nil {
+		for name, v := range k.SharedAS.Stats.Snapshot() {
+			reg.Counter(prefix + "." + name).Add(v)
+		}
+	}
 }
 
 // MB formats bytes as megabytes.

@@ -78,6 +78,7 @@ func helloOnce(id SystemID) (HelloRow, error) {
 		row.ChildMem = childMem
 		return nil
 	})
+	foldRun("hello."+string(id), k)
 	return row, err
 }
 

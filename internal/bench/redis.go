@@ -129,7 +129,7 @@ func redisOnce(id SystemID, dbBytes uint64) (RedisRow, error) {
 				k.Exit(c, 1)
 			}
 			childMem = memMetric(c)
-			childCopied = c.AS.Stats.PagesCopied
+			childCopied = c.AS.Stats.PagesCopied.Value()
 			k.Exit(c, 0)
 		})
 		if err != nil {
@@ -167,6 +167,7 @@ func redisOnce(id SystemID, dbBytes uint64) (RedisRow, error) {
 		}
 		return nil
 	})
+	foldRun(fmt.Sprintf("redis.%s.%s", id, MB(dbBytes)), k)
 	return row, err
 }
 

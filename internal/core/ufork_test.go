@@ -335,12 +335,12 @@ func TestCoPACopiesOnPointerLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 		_, err = k.Fork(p, func(c *kernel.Proc) {
-			before := c.AS.Stats.Faults[vm.FaultCapLoad]
+			before := c.AS.Stats.Fault(vm.FaultCapLoad)
 			if _, err := c.LoadCap(c.HeapCap, 0); err != nil {
 				t.Errorf("child cap load: %v", err)
 				return
 			}
-			after := c.AS.Stats.Faults[vm.FaultCapLoad]
+			after := c.AS.Stats.Fault(vm.FaultCapLoad)
 			if after != before+1 {
 				t.Errorf("cap-load faults: %d -> %d, want exactly one", before, after)
 			}
@@ -348,7 +348,7 @@ func TestCoPACopiesOnPointerLoad(t *testing.T) {
 			if _, err := c.LoadCap(c.HeapCap, 0); err != nil {
 				t.Errorf("second cap load: %v", err)
 			}
-			if got := c.AS.Stats.Faults[vm.FaultCapLoad]; got != after {
+			if got := c.AS.Stats.Fault(vm.FaultCapLoad); got != after {
 				t.Errorf("second load faulted: %d -> %d", after, got)
 			}
 		})

@@ -19,6 +19,7 @@ import (
 
 	"ufork/internal/cap"
 	"ufork/internal/model"
+	"ufork/internal/obs"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -81,6 +82,17 @@ type ForkStats struct {
 	PagesCopied    int // frames physically duplicated during the fork call
 	CapsRelocated  int // capabilities rewritten during the fork call
 	ProactivePages int // GOT + allocator-metadata pages copied eagerly
+
+	// Phase breakdown of Latency (the §6-style accounting the tracer
+	// exports): engines fill the phases that apply to them. The kernel
+	// fills FixupTime (FD duplication + fixed fork cost). Phases sum to
+	// Latency.
+	ReserveTime   sim.Time // contiguous region reservation
+	PTECopyTime   sim.Time // bulk page-table-entry copy
+	EagerCopyTime sim.Time // frames physically copied during the call
+	ScanTime      sim.Time // tag-plane scans + capability relocation
+	RegTime       sim.Time // capability register-file relocation
+	FixupTime     sim.Time // kernel-side FD dup + fixed cost
 }
 
 // ForkEngine is the strategy that implements fork: μFork (internal/core),
@@ -193,12 +205,34 @@ func (ra *regionAllocator) find(va uint64) (Region, bool) {
 	return Region{}, false
 }
 
-// Stats aggregates kernel-wide counters for the harness.
+// Stats aggregates kernel-wide counters for the harness. The counters are
+// atomic (obs.Counter) so `go test -race` passes even when several
+// simulated kernels are driven from concurrent host goroutines, and so a
+// Snapshot/Reset pair cannot tear.
 type Stats struct {
-	Forks       uint64
-	Syscalls    uint64
-	PageFaults  uint64
-	CtxSwitches uint64
+	Forks       obs.Counter
+	Syscalls    obs.Counter
+	PageFaults  obs.Counter
+	CtxSwitches obs.Counter
+}
+
+// Snapshot returns the counters as a name→value map (bench JSON emission).
+func (s *Stats) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"forks":        s.Forks.Value(),
+		"syscalls":     s.Syscalls.Value(),
+		"page-faults":  s.PageFaults.Value(),
+		"ctx-switches": s.CtxSwitches.Value(),
+	}
+}
+
+// Reset zeroes every counter so counts cannot leak between benchmark
+// iterations that reuse a kernel.
+func (s *Stats) Reset() {
+	s.Forks.Reset()
+	s.Syscalls.Reset()
+	s.PageFaults.Reset()
+	s.CtxSwitches.Reset()
 }
 
 // Kernel is one simulated operating system instance.
@@ -232,6 +266,11 @@ type Kernel struct {
 	next  PID
 
 	Stats Stats
+
+	// Obs is the observability handle (metrics registry + span tracer).
+	// Never nil; defaults to obs.Default, and all span/histogram traffic
+	// through it is gated on the global obs.On() switch.
+	Obs *obs.Obs
 }
 
 // Config bundles kernel construction parameters.
@@ -245,6 +284,9 @@ type Config struct {
 	// ASLRSeed, when nonzero, randomizes μprocess region base offsets
 	// (§3.7). The same seed reproduces the same layout.
 	ASLRSeed int64
+	// Obs overrides the observability handle (default: obs.Default, the
+	// process-wide registry/tracer the bench harness aggregates into).
+	Obs *obs.Obs
 }
 
 // New boots a kernel on a fresh simulation engine.
@@ -252,6 +294,10 @@ func New(cfg Config) *Kernel {
 	frames := cfg.Frames
 	if frames == 0 {
 		frames = 1 << 19 // 2 GiB
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.Default
 	}
 	k := &Kernel{
 		Eng:     sim.NewEngine(cfg.Machine.Cores),
@@ -262,6 +308,7 @@ func New(cfg Config) *Kernel {
 		vfs:     NewVFS(),
 		procs:   make(map[PID]*Proc),
 		next:    1,
+		Obs:     o,
 	}
 	if cfg.Machine.SingleAddressSpace {
 		k.SharedAS = vm.NewAddressSpace(k.Mem)
@@ -326,6 +373,9 @@ func (k *Kernel) Spawn(spec ProgramSpec, start sim.Time, entry func(*Proc)) (*Pr
 
 // startProc attaches a sim task to a fully constructed Proc.
 func (k *Kernel) startProc(p *Proc, start sim.Time, entry func(*Proc)) {
+	if obs.On() {
+		k.Obs.Tracer.SetProcName(int(p.PID), fmt.Sprintf("%s[%d]", p.Spec.Name, p.PID))
+	}
 	p.Task = k.Eng.Go(fmt.Sprintf("%s[%d]", p.Spec.Name, p.PID), start, func(t *sim.Task) {
 		defer k.reapOnReturn(p)
 		if p.Parent != nil {
@@ -334,6 +384,9 @@ func (k *Kernel) startProc(p *Proc, start sim.Time, entry func(*Proc)) {
 		entry(p)
 	})
 	p.Task.SwitchCost = k.Machine.CtxSwitch
+	if obs.On() {
+		k.Obs.Tracer.SetThreadName(int(p.PID), p.Task.ID, p.Task.Name)
+	}
 }
 
 type exitPanic struct{ status int }

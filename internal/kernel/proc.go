@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ufork/internal/cap"
+	"ufork/internal/obs"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -74,6 +75,12 @@ type Proc struct {
 	// LastFork holds the statistics of the most recent fork this process
 	// performed; the benchmark harness reads it for latency accounting.
 	LastFork ForkStats
+
+	// sysSpan is the in-flight syscall trace span (kernel entry through
+	// exit); syscalls do not nest within one μprocess, so one slot is
+	// enough. sysEnter is its start time for latency histograms.
+	sysSpan  obs.Span
+	sysEnter sim.Time
 }
 
 // Kernel returns the owning kernel.
@@ -115,10 +122,18 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		if fault == nil {
 			return pfn, off, nil
 		}
-		p.k.Stats.PageFaults++
+		p.k.Stats.PageFaults.Inc()
+		var sp obs.Span
+		if obs.On() {
+			p.k.Obs.Reg.Counter("vm.fault." + fault.Kind.String()).Inc()
+			sp = p.k.Obs.Tracer.Begin(int(p.PID), p.Task.ID,
+				"fault:"+fault.Kind.String(), "vm", uint64(p.Task.Now()))
+		}
 		// Taking the fault costs a trap + handler dispatch.
 		p.Task.Advance(p.k.Machine.PageFault)
-		if err := p.k.Engine.HandleFault(p.k, p, fault, acc); err != nil {
+		err := p.k.Engine.HandleFault(p.k, p, fault, acc)
+		sp.End(uint64(p.Task.Now()), obs.A("va", fault.VA))
+		if err != nil {
 			return tmem.NoFrame, 0, fmt.Errorf("%w: %v", ErrSegfault, err)
 		}
 	}

@@ -4,17 +4,24 @@ import (
 	"fmt"
 
 	"ufork/internal/cap"
+	"ufork/internal/obs"
 	"ufork/internal/sim"
 )
 
 // enter charges the user→kernel transition and the isolation-dependent
 // checks, then serializes on the big kernel lock where the machine model
-// requires it (§4.4, §4.5). bufBytes is the total size of user buffers the
+// requires it (§4.4, §4.5). name identifies the syscall for dispatch
+// accounting and tracing. bufBytes is the total size of user buffers the
 // call passes by reference; under IsolationFull they are copied to kernel
 // memory before use (TOCTTOU protection, §4.4 principle 4).
-func (k *Kernel) enter(p *Proc, bufBytes int) {
+func (k *Kernel) enter(p *Proc, name string, bufBytes int) {
 	t := p.Task
-	k.Stats.Syscalls++
+	k.Stats.Syscalls.Inc()
+	if obs.On() {
+		k.Obs.Reg.Counter("syscall." + name).Inc()
+		p.sysSpan = k.Obs.Tracer.Begin(int(p.PID), p.Task.ID, name, "syscall", uint64(t.Now()))
+		p.sysEnter = t.Now()
+	}
 	// Pending kills and signals are delivered at kernel entry.
 	k.checkKilled(p)
 	k.deliverSignals(p)
@@ -50,8 +57,12 @@ func (k *Kernel) enter(p *Proc, bufBytes int) {
 // switch with its TLB/cache maintenance (§2.2). Switches occupy the CPU,
 // so they are booked on a core rather than merely advancing the clock.
 func (k *Kernel) chargeSwitch(p *Proc) {
+	if obs.On() {
+		k.Obs.Tracer.Complete(int(p.PID), p.Task.ID, "ctx-switch", "sched",
+			uint64(p.Task.Now()), uint64(k.Machine.CtxSwitch))
+	}
 	p.Task.Book(k.Machine.CtxSwitch)
-	k.Stats.CtxSwitches++
+	k.Stats.CtxSwitches.Inc()
 }
 
 // exit charges the kernel→user transition and releases the big kernel
@@ -61,18 +72,25 @@ func (k *Kernel) leave(p *Proc) {
 		k.bkl.Unlock(p.Task)
 	}
 	p.Task.Advance(k.Machine.SyscallExit)
+	if p.sysSpan.Active() {
+		p.sysSpan.End(uint64(p.Task.Now()))
+		p.sysSpan = obs.Span{}
+		if obs.On() {
+			k.Obs.Reg.Histogram("syscall.latency").Observe(uint64(p.Task.Now() - p.sysEnter))
+		}
+	}
 }
 
 // Getpid returns the caller's process ID.
 func (k *Kernel) Getpid(p *Proc) PID {
-	k.enter(p, 0)
+	k.enter(p, "getpid", 0)
 	defer k.leave(p)
 	return p.PID
 }
 
 // Yield gives up the CPU.
 func (k *Kernel) Yield(p *Proc) {
-	k.enter(p, 0)
+	k.enter(p, "yield", 0)
 	k.leave(p)
 	p.Task.Sync()
 }
@@ -80,7 +98,7 @@ func (k *Kernel) Yield(p *Proc) {
 // Exit terminates the calling process with the given status. It does not
 // return: the entry function unwinds via panic, recovered by the kernel.
 func (k *Kernel) Exit(p *Proc, status int) {
-	k.enter(p, 0)
+	k.enter(p, "exit", 0)
 	k.leave(p)
 	panic(exitPanic{status})
 }
@@ -92,10 +110,11 @@ func (k *Kernel) Exit(p *Proc, status int) {
 // relocated (§3.5 step 2) — so transparency at the memory level is
 // preserved.
 func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
-	k.enter(p, 0)
+	k.enter(p, "fork", 0)
 	defer k.leave(p)
-	k.Stats.Forks++
+	k.Stats.Forks.Inc()
 	p.Forked++
+	forkStart := p.Task.Now()
 
 	child := &Proc{
 		k:          k,
@@ -113,11 +132,27 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	// Kernel-side duplication common to every engine: descriptor table and
 	// task struct (§4.5 "per-process kernel state").
 	child.FDs = p.FDs.Dup()
-	stats.Latency += sim.Time(child.FDs.Len()) * k.Machine.FDDup
-	stats.Latency += k.Machine.ForkFixed
+	stats.FixupTime = sim.Time(child.FDs.Len())*k.Machine.FDDup + k.Machine.ForkFixed
+	stats.Latency += stats.FixupTime
 
 	k.procs[child.PID] = child
 	p.children = append(p.children, child)
+
+	if obs.On() {
+		// The fork span and its kernel-side fixup phase; the engine has
+		// already emitted its own phase spans starting at forkStart.
+		tr := k.Obs.Tracer
+		pid, tid := int(p.PID), p.Task.ID
+		tr.Complete(pid, tid, "fork:"+k.Engine.Name(), "fork",
+			uint64(forkStart), uint64(stats.Latency),
+			obs.A("child-pid", uint64(child.PID)),
+			obs.A("ptes-copied", uint64(stats.PTEsCopied)),
+			obs.A("pages-copied", uint64(stats.PagesCopied)),
+			obs.A("caps-relocated", uint64(stats.CapsRelocated)))
+		tr.Complete(pid, tid, "fd-dup+fixed", "fork",
+			uint64(forkStart)+uint64(stats.Latency-stats.FixupTime), uint64(stats.FixupTime))
+		k.Obs.Reg.Histogram("fork.latency." + k.Engine.Name()).Observe(uint64(stats.Latency))
+	}
 
 	// The fork call's latency is charged to the parent; the child begins
 	// at the moment fork completes, exactly like the paper's latency
@@ -131,7 +166,7 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 // Wait blocks until one child has exited, reaps it, and returns its PID
 // and exit status.
 func (k *Kernel) Wait(p *Proc) (PID, int, error) {
-	k.enter(p, 0)
+	k.enter(p, "wait", 0)
 	defer k.leave(p)
 	for {
 		if len(p.children) == 0 {
@@ -150,7 +185,7 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 
 // Open opens (or with create, creates) a ram-disk file.
 func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
-	k.enter(p, len(name))
+	k.enter(p, "open", len(name))
 	defer k.leave(p)
 	ino, ok := k.vfs.Lookup(name)
 	if !ok {
@@ -166,7 +201,7 @@ func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
 
 // Close closes a descriptor.
 func (k *Kernel) Close(p *Proc, fd int) error {
-	k.enter(p, 0)
+	k.enter(p, "close", 0)
 	defer k.leave(p)
 	return p.FDs.Close(k, p, fd)
 }
@@ -174,7 +209,7 @@ func (k *Kernel) Close(p *Proc, fd int) error {
 // Write writes buf to fd. The data crosses the user/kernel boundary, so
 // under IsolationFull it is TOCTTOU-copied first (cost charged by enter).
 func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
-	k.enter(p, len(buf))
+	k.enter(p, "write", len(buf))
 	defer k.leave(p)
 	of, err := p.FDs.Get(fd)
 	if err != nil {
@@ -190,7 +225,7 @@ func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
 
 // Read reads up to len(buf) bytes from fd.
 func (k *Kernel) Read(p *Proc, fd int, buf []byte) (int, error) {
-	k.enter(p, len(buf))
+	k.enter(p, "read", len(buf))
 	defer k.leave(p)
 	of, err := p.FDs.Get(fd)
 	if err != nil {
@@ -233,7 +268,7 @@ func (k *Kernel) ReadVM(p *Proc, fd int, c cap.Capability, off, n uint64) (int, 
 // Fsync flushes a file to stable storage: the fixed finalisation cost of
 // a snapshot (temp-file rename, metadata flush).
 func (k *Kernel) Fsync(p *Proc, fd int) error {
-	k.enter(p, 0)
+	k.enter(p, "fsync", 0)
 	defer k.leave(p)
 	if _, err := p.FDs.Get(fd); err != nil {
 		return err
@@ -244,7 +279,7 @@ func (k *Kernel) Fsync(p *Proc, fd int) error {
 
 // Pipe creates a pipe and returns (readFD, writeFD).
 func (k *Kernel) Pipe(p *Proc) (int, int, error) {
-	k.enter(p, 0)
+	k.enter(p, "pipe", 0)
 	defer k.leave(p)
 	r, w := NewPipe()
 	rfd := p.FDs.Install(&OpenFile{File: r})
@@ -256,7 +291,7 @@ func (k *Kernel) Pipe(p *Proc) (int, int, error) {
 // listener handle (the workload driver uses the handle to inject
 // connections).
 func (k *Kernel) Listen(p *Proc) (int, *Listener) {
-	k.enter(p, 0)
+	k.enter(p, "listen", 0)
 	defer k.leave(p)
 	l := NewListener()
 	fd := p.FDs.Install(&OpenFile{File: l})
@@ -265,7 +300,7 @@ func (k *Kernel) Listen(p *Proc) (int, *Listener) {
 
 // Accept blocks until a connection arrives on the listening descriptor.
 func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
-	k.enter(p, 0)
+	k.enter(p, "accept", 0)
 	defer k.leave(p)
 	of, err := p.FDs.Get(fd)
 	if err != nil {
@@ -286,7 +321,7 @@ func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
 // μprocess this only moves a bound; the monolithic baseline demand-pages,
 // so the accounting matters there.
 func (k *Kernel) Sbrk(p *Proc, pages int) error {
-	k.enter(p, 0)
+	k.enter(p, "sbrk", 0)
 	defer k.leave(p)
 	if p.BrkPages+pages > p.Layout.Pages[SegHeap] {
 		return fmt.Errorf("kernel: sbrk beyond static heap (%d + %d > %d)",

@@ -1,0 +1,90 @@
+package obs
+
+import "testing"
+
+// The disabled-path benchmarks prove the acceptance criterion that a
+// compiled-in probe costs effectively nothing when observability is off:
+// each disabled probe is one atomic load and a branch, well under 5 ns/op
+// on any modern machine (the enabled variants are included for contrast).
+//
+//	go test -bench Disabled -benchtime 100000000x ./internal/obs
+
+// BenchmarkDisabledSyscallProbe is the exact shape of the probe on the
+// kernel's syscall dispatch path: guard, then (skipped) span begin/end.
+func BenchmarkDisabledSyscallProbe(b *testing.B) {
+	Disable()
+	tr := NewTracer(64)
+	var spans int
+	for i := 0; i < b.N; i++ {
+		if On() {
+			sp := tr.Begin(1, 1, "write", "syscall", uint64(i))
+			sp.End(uint64(i + 1))
+			spans++
+		}
+	}
+	if spans != 0 {
+		b.Fatal("disabled probe took the enabled path")
+	}
+}
+
+// BenchmarkDisabledHistogramProbe is the fork-latency observation site.
+func BenchmarkDisabledHistogramProbe(b *testing.B) {
+	Disable()
+	reg := NewRegistry()
+	for i := 0; i < b.N; i++ {
+		if On() {
+			reg.Histogram("fork.latency").Observe(uint64(i))
+		}
+	}
+}
+
+// BenchmarkDisabledSpanBegin measures the inert-span fallback itself: the
+// Begin call made without a guard (nil-or-disabled check inside).
+func BenchmarkDisabledSpanBegin(b *testing.B) {
+	Disable()
+	tr := NewTracer(64)
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(1, 1, "write", "syscall", uint64(i))
+		sp.End(uint64(i + 1))
+	}
+	if got := len(tr.Events()); got != 0 {
+		b.Fatalf("disabled tracer recorded %d events", got)
+	}
+}
+
+// BenchmarkCounterInc is the always-on path: kernel.Stats counters are
+// plain atomics with no enable guard, replacing the old bare uint64s.
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkEnabledSpan is the contrast case: the full enabled-path cost of
+// one begin/end pair through the ring buffer.
+func BenchmarkEnabledSpan(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	tr := NewTracer(1 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(1, 1, "write", "syscall", uint64(i))
+		sp.End(uint64(i + 1))
+	}
+}
+
+// BenchmarkEnabledHistogramObserve is the enabled fork-latency site with
+// the histogram handle held (the recommended hot-path shape).
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	h := NewHistogram(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) % 1_000_000)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ufork/internal/obs"
 	"ufork/internal/tmem"
 )
 
@@ -148,12 +149,65 @@ type AddressSpace struct {
 	Stats Stats
 }
 
-// Stats aggregates fault and copy counters per address space.
+// numFaultKinds sizes the per-kind fault counter array.
+const numFaultKinds = int(FaultNoExec) + 1
+
+// Stats aggregates fault and copy counters per address space. Counters are
+// atomic so concurrent host goroutines driving different kernels (and the
+// race detector) see no data races, and Snapshot/Reset let harnesses drain
+// them between benchmark iterations.
 type Stats struct {
-	Faults        map[FaultKind]uint64
-	PagesCopied   uint64 // frames duplicated by fault handling
-	PagesAdopted  uint64 // last-reference pages taken over without a copy
-	CapsRelocated uint64 // capabilities rewritten by relocation passes
+	faults        [numFaultKinds]obs.Counter
+	PagesCopied   obs.Counter // frames duplicated by fault handling
+	PagesAdopted  obs.Counter // last-reference pages taken over without a copy
+	CapsRelocated obs.Counter // capabilities rewritten by relocation passes
+}
+
+// Fault returns the count of faults of the given kind.
+func (s *Stats) Fault(kind FaultKind) uint64 {
+	if int(kind) < 0 || int(kind) >= numFaultKinds {
+		return 0
+	}
+	return s.faults[kind].Value()
+}
+
+// FaultTotal returns the count of all faults.
+func (s *Stats) FaultTotal() uint64 {
+	var n uint64
+	for i := range s.faults {
+		n += s.faults[i].Value()
+	}
+	return n
+}
+
+// Snapshot returns every nonzero counter as a name→value map.
+func (s *Stats) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	for i := range s.faults {
+		if v := s.faults[i].Value(); v > 0 {
+			out["fault."+FaultKind(i).String()] = v
+		}
+	}
+	if v := s.PagesCopied.Value(); v > 0 {
+		out["pages-copied"] = v
+	}
+	if v := s.PagesAdopted.Value(); v > 0 {
+		out["pages-adopted"] = v
+	}
+	if v := s.CapsRelocated.Value(); v > 0 {
+		out["caps-relocated"] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	for i := range s.faults {
+		s.faults[i].Reset()
+	}
+	s.PagesCopied.Reset()
+	s.PagesAdopted.Reset()
+	s.CapsRelocated.Reset()
 }
 
 // NewAddressSpace creates an empty address space over physical memory mem.
@@ -161,7 +215,6 @@ func NewAddressSpace(mem *tmem.Memory) *AddressSpace {
 	return &AddressSpace{
 		mem:   mem,
 		table: make(map[VPN]*PTE),
-		Stats: Stats{Faults: make(map[FaultKind]uint64)},
 	}
 }
 
@@ -261,7 +314,7 @@ func (as *AddressSpace) Translate(va uint64, acc Access) (tmem.PFN, uint64, *Fau
 }
 
 func (as *AddressSpace) fault(kind FaultKind, va uint64) (tmem.PFN, uint64, *Fault) {
-	as.Stats.Faults[kind]++
+	as.Stats.faults[kind].Inc()
 	return tmem.NoFrame, 0, &Fault{Kind: kind, VA: va}
 }
 
@@ -278,7 +331,7 @@ func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
 	if pte.Page.Refs == 1 {
 		// Last reference: adopt in place, no copy needed.
 		pte.Prot = prot
-		as.Stats.PagesAdopted++
+		as.Stats.PagesAdopted.Inc()
 		return pte.Page, false, nil
 	}
 	pfn, err := as.mem.AllocFrame()
@@ -292,7 +345,7 @@ func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
 	pte.Page.Refs--
 	pte.Page = &Page{PFN: pfn, Refs: 1}
 	pte.Prot = prot
-	as.Stats.PagesCopied++
+	as.Stats.PagesCopied.Inc()
 	return pte.Page, true, nil
 }
 

@@ -120,8 +120,8 @@ func TestTranslateFaults(t *testing.T) {
 			}
 		})
 	}
-	if as.Stats.Faults[FaultWriteProtect] != 2 {
-		t.Fatalf("write-protect fault count = %d", as.Stats.Faults[FaultWriteProtect])
+	if as.Stats.Fault(FaultWriteProtect) != 2 {
+		t.Fatalf("write-protect fault count = %d", as.Stats.Fault(FaultWriteProtect))
 	}
 }
 
@@ -167,8 +167,8 @@ func TestMakePrivateCopies(t *testing.T) {
 	if string(buf) != "original" {
 		t.Fatal("child write leaked into parent frame")
 	}
-	if child.Stats.PagesCopied != 1 {
-		t.Fatalf("PagesCopied = %d", child.Stats.PagesCopied)
+	if child.Stats.PagesCopied.Value() != 1 {
+		t.Fatalf("PagesCopied = %d", child.Stats.PagesCopied.Value())
 	}
 }
 
@@ -188,8 +188,8 @@ func TestMakePrivateAdoptsLastRef(t *testing.T) {
 	if got != page {
 		t.Fatal("adoption must keep the same page")
 	}
-	if as.Stats.PagesAdopted != 1 {
-		t.Fatalf("PagesAdopted = %d", as.Stats.PagesAdopted)
+	if as.Stats.PagesAdopted.Value() != 1 {
+		t.Fatalf("PagesAdopted = %d", as.Stats.PagesAdopted.Value())
 	}
 	// And the new protection applies.
 	if _, _, fault := as.Translate(PageSize, AccWrite); fault != nil {
