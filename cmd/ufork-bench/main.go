@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist] [-full]
-//	            [-trace out.json] [-metrics out.json]
+//	            [-trace out.json] [-metrics out.json] [-parallel N]
 //
 // Quick mode (default) uses reduced database sizes, windows and iteration
 // counts; -full runs the paper's parameters (100 MB databases, 1000
@@ -31,8 +31,10 @@ func main() {
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
+	parallel := flag.Int("parallel", 0, "host worker-pool width for eager fork copies (0 = one per CPU, 1 = serial); virtual-time results are identical at any setting")
 	flag.Parse()
 
+	bench.Parallelism = *parallel
 	if *tracePath != "" || *metricsPath != "" {
 		obs.Enable()
 	}

@@ -30,10 +30,21 @@ const (
 	SysVMClone      SystemID = "Nephele"
 )
 
+// Parallelism bounds the host-side worker pool μFork engines fan eager
+// fork copies across. 0 means one worker per available CPU; 1 forces
+// serial execution. Virtual-time results are identical at every setting —
+// only host wall-clock changes. Set from ufork-bench's -parallel flag.
+var Parallelism int
+
 // build creates a kernel for the given system with the given core count.
 func build(id SystemID, cores int, frames int) *kernel.Kernel {
 	if frames == 0 {
 		frames = 1 << 17
+	}
+	ufork := func(mode core.CopyMode) *core.Engine {
+		e := core.New(mode)
+		e.Parallelism = Parallelism
+		return e
 	}
 	var (
 		m   *model.Machine
@@ -42,13 +53,13 @@ func build(id SystemID, cores int, frames int) *kernel.Kernel {
 	)
 	switch id {
 	case SysUForkCoPA:
-		m, eng, iso = model.UFork(cores), core.New(core.CopyOnPointerAccess), kernel.IsolationFault
+		m, eng, iso = model.UFork(cores), ufork(core.CopyOnPointerAccess), kernel.IsolationFault
 	case SysUForkTocttou:
-		m, eng, iso = model.UFork(cores), core.New(core.CopyOnPointerAccess), kernel.IsolationFull
+		m, eng, iso = model.UFork(cores), ufork(core.CopyOnPointerAccess), kernel.IsolationFull
 	case SysUForkCoA:
-		m, eng, iso = model.UFork(cores), core.New(core.CopyOnAccess), kernel.IsolationFault
+		m, eng, iso = model.UFork(cores), ufork(core.CopyOnAccess), kernel.IsolationFault
 	case SysUForkFull:
-		m, eng, iso = model.UFork(cores), core.New(core.CopyFull), kernel.IsolationFault
+		m, eng, iso = model.UFork(cores), ufork(core.CopyFull), kernel.IsolationFault
 	case SysPosix:
 		m, eng, iso = model.Posix(cores), posix.New(), kernel.IsolationFull
 	case SysVMClone:

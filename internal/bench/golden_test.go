@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The virtual-time outputs are the simulator's ground truth: host-side
+// optimisation of the fork path (bitset tag scans, frame pooling, the
+// parallel eager-copy pool) must never change a single byte of them. These
+// tests pin the quick-mode forkhist and table1 renderings against goldens
+// captured before the optimisation work; `ufork-bench` prints each
+// rendering with Println, hence the trailing newline.
+
+func goldenCompare(t *testing.T, got, file string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got+"\n" != string(want) {
+		t.Fatalf("output differs from %s\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestGoldenForkHist(t *testing.T) {
+	rows, err := ForkHist(ForkHistItersQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, RenderForkHist(rows), "golden_forkhist.txt")
+}
+
+func TestGoldenTable1(t *testing.T) {
+	goldenCompare(t, RenderTable1(Table1()), "golden_table1.txt")
+}
+
+// TestGoldenParallelInvariance re-runs forkhist at several worker-pool
+// widths: the virtual-time distribution must be byte-identical whatever
+// the host parallelism.
+func TestGoldenParallelInvariance(t *testing.T) {
+	defer func(old int) { Parallelism = old }(Parallelism)
+	for _, par := range []int{1, 4} {
+		Parallelism = par
+		rows, err := ForkHist(ForkHistItersQuick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, RenderForkHist(rows), "golden_forkhist.txt")
+	}
+}

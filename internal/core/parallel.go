@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The eager copy+relocate work of a fork — CopyFull's whole-image copy and
+// the proactive GOT/allocator-metadata/stack segments of the lazy modes —
+// is embarrassingly parallel on the host: each page gets a private
+// destination frame, and frames never alias. A bounded worker pool fans
+// that work across goroutines. Virtual-time cost accounting stays on the
+// forking task and is computed from per-page counts whose sums are
+// order-independent, so every virtual-time output is bit-identical
+// whatever the parallelism (see TestParallelForkDeterministic).
+
+// workers resolves the engine's host-side fan-out width: Parallelism when
+// set, else one worker per available CPU.
+func (e *Engine) workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelChunk is the number of consecutive pages one worker claims at a
+// time: large enough to amortise the atomic claim against ~500 ns of
+// per-page copy work, small enough to balance tails.
+const parallelChunk = 16
+
+// parallelFor runs fn(i) for every i in [0, n) across at most w
+// goroutines, returning when all calls have completed. With w <= 1 (or
+// trivially small n) it runs inline on the caller.
+func parallelFor(n, w int, fn func(int)) {
+	if w > (n+parallelChunk-1)/parallelChunk {
+		w = (n + parallelChunk - 1) / parallelChunk
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(parallelChunk)) - parallelChunk
+				if start >= n {
+					return
+				}
+				end := start + parallelChunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

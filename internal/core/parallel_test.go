@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"testing"
+
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+	"ufork/internal/sim"
+)
+
+// runParallelForks drives a capability-dense workload through repeated
+// forks on a kernel whose μFork engine fans eager page copies across par
+// host workers, and returns the virtual-time observables: the last fork's
+// full statistics, the parent's final clock, and the total relocation
+// count. Run under -race this also exercises the worker pool for data
+// races (CopyFull queues every image page, so the pool genuinely fans
+// out).
+func runParallelForks(t *testing.T, mode core.CopyMode, par int) (kernel.ForkStats, sim.Time, uint64) {
+	t.Helper()
+	e := core.New(mode)
+	e.Parallelism = par
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    e,
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 16,
+	})
+	spec := kernel.HelloWorldSpec()
+	spec.HeapPages = 512
+	var stats kernel.ForkStats
+	var end sim.Time
+	if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+		// Salt the heap with in-region capabilities so eager copies have
+		// relocation work on many (not all) pages.
+		for pg := 0; pg < spec.HeapPages; pg += 3 {
+			off := uint64(pg) * kernel.PageSize
+			c := p.HeapCap.SetAddr(p.HeapCap.Base() + off)
+			if err := p.StoreCap(p.HeapCap, off, c); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for n := 0; n < 3; n++ {
+			if _, err := k.Fork(p, func(c *kernel.Proc) {
+				// The child follows one relocated pointer before exiting,
+				// proving the parallel relocation pass ran.
+				got, err := c.LoadCap(c.HeapCap, 0)
+				if err != nil {
+					t.Error(err)
+				} else if got.Tag() && got.Addr() != c.HeapCap.Base() {
+					t.Errorf("child heap cap not relocated: %#x", got.Addr())
+				}
+				k.Exit(c, 0)
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		stats = p.LastFork
+		end = p.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	return stats, end, k.SharedAS.Stats.CapsRelocated.Value()
+}
+
+// TestParallelForkDeterministic pins the fork path's virtual-time
+// invariant: every statistic and clock reading is bit-identical whatever
+// the host worker-pool width, for every copy mode.
+func TestParallelForkDeterministic(t *testing.T) {
+	for _, mode := range []core.CopyMode{core.CopyOnPointerAccess, core.CopyOnAccess, core.CopyFull} {
+		t.Run(mode.String(), func(t *testing.T) {
+			baseStats, baseEnd, baseRelocs := runParallelForks(t, mode, 1)
+			if mode == core.CopyFull && baseStats.PagesCopied < 512 {
+				t.Fatalf("CopyFull copied only %d pages", baseStats.PagesCopied)
+			}
+			for _, par := range []int{2, 4, 8} {
+				stats, end, relocs := runParallelForks(t, mode, par)
+				if stats != baseStats || end != baseEnd || relocs != baseRelocs {
+					t.Fatalf("parallelism %d changed virtual-time results:\ngot  %+v end=%d relocs=%d\nwant %+v end=%d relocs=%d",
+						par, stats, end, relocs, baseStats, baseEnd, baseRelocs)
+				}
+			}
+		})
+	}
+}

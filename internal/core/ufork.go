@@ -62,6 +62,12 @@ func (m CopyMode) String() string {
 // Engine is the μFork fork engine.
 type Engine struct {
 	Mode CopyMode
+	// Parallelism bounds the host-side worker pool that fans eager
+	// per-page copy+relocate work across goroutines. Zero means one
+	// worker per available CPU; one forces the serial path. Virtual-time
+	// results are invariant under this setting — only host wall-clock
+	// changes.
+	Parallelism int
 }
 
 // New returns a μFork engine using the given copy strategy.
@@ -82,7 +88,7 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 	// phase still appears in traces with its true (zero) duration.
 	child.AS = parent.AS // single address space
 	child.Region = k.ReserveRegion(parent.Region.Size, parent.Spec.Name)
-	child.Pending = make(map[vm.VPN]bool)
+	child.Pending = vm.NewPageSet(vm.VPNOf(child.Region.Base), int(child.Region.Size/vm.PageSize))
 
 	// 2. Copy the parent's page-table entries. The bulk PTE copy is cheap;
 	// GOT and allocator-metadata pages are proactively copied and
@@ -91,15 +97,39 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 	startVPN := vm.VPNOf(parent.Region.Base)
 	endVPN := vm.VPNOf(parent.Region.Top()-1) + 1
 	var copyErr error
+	// Eager pages are allocated and mapped serially during the PTE walk
+	// (the allocator and page table are shared state, and frame-number
+	// assignment must stay deterministic); the page copies and relocation
+	// scans — the actual byte work — are queued and fanned out across the
+	// worker pool below. CopyFull queues the whole image, so its queue is
+	// sized up front; page descriptors come from a slab rather than one
+	// heap object per page.
+	var eager []eagerCopy
+	if e.Mode == CopyFull {
+		eager = make([]eagerCopy, 0, parent.Region.Size/vm.PageSize)
+	}
+	var slab pageSlab
+	// The walk visits pages in ascending order, so the current segment
+	// covers a long run of consecutive pages; cache it and only consult
+	// SegmentOf when the offset leaves its bounds.
+	var curSeg kernel.Segment
+	var curStart, curEnd uint64
 	parent.AS.RangeVPNs(startVPN, endVPN, func(vpn vm.VPN, pte *vm.PTE) {
 		if copyErr != nil {
 			return
 		}
 		off := uint64(vpn)*vm.PageSize - parent.Region.Base
-		seg, ok := parent.Layout.SegmentOf(off)
-		if !ok {
-			copyErr = fmt.Errorf("core: page %#x outside image layout", uint64(vpn)*vm.PageSize)
-			return
+		seg := curSeg
+		if off < curStart || off >= curEnd {
+			var ok bool
+			seg, ok = parent.Layout.SegmentOf(off)
+			if !ok {
+				copyErr = fmt.Errorf("core: page %#x outside image layout", uint64(vpn)*vm.PageSize)
+				return
+			}
+			curSeg = seg
+			curStart = parent.Layout.Offsets[seg]
+			curEnd = curStart + parent.Layout.SegLen(seg)
 		}
 		childVPN := vm.VPNOf(child.Region.Base + off)
 		natural := seg.NaturalProt()
@@ -118,16 +148,19 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 		stats.PTECopyTime += m.PTECopy
 
 		if proactive || e.Mode == CopyFull {
-			relocs, err := e.copyRelocate(k, child, childVPN, pte.Page, natural)
+			pfn, err := k.Mem.AllocFrameForCopy()
 			if err != nil {
 				copyErr = err
 				return
 			}
+			if err := child.AS.Map(childVPN, slab.page(pfn), natural); err != nil {
+				copyErr = err
+				return
+			}
+			eager = append(eager, eagerCopy{dst: pfn, src: pte.Page.PFN})
 			stats.PagesCopied++
-			stats.CapsRelocated += relocs
-			stats.Latency += m.PageCopy + m.CapScanPage + sim.Time(relocs)*m.CapRelocate
+			stats.Latency += m.PageCopy
 			stats.EagerCopyTime += m.PageCopy
-			stats.ScanTime += m.CapScanPage + sim.Time(relocs)*m.CapRelocate
 			if proactive {
 				stats.ProactivePages++
 			}
@@ -152,20 +185,44 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 			copyErr = err
 			return
 		}
-		child.Pending[childVPN] = true
+		child.Pending.Add(childVPN)
 	})
 	if copyErr != nil {
 		return stats, copyErr
+	}
+
+	// Fan the queued copy+relocate work out across the worker pool. Each
+	// job touches only its own private destination frame (and reads a
+	// source frame no job writes), so jobs are independent; the per-job
+	// relocation counts are folded into the virtual-time accounting
+	// serially afterwards, and Latency is a sum, so the result is
+	// identical to the serial order.
+	parallelFor(len(eager), e.workers(), func(i int) {
+		job := &eager[i]
+		if job.err = k.Mem.CopyFrame(job.dst, job.src); job.err != nil {
+			return
+		}
+		job.relocs, job.err = e.relocatePage(k, child, job.dst)
+	})
+	for i := range eager {
+		if eager[i].err != nil {
+			return stats, eager[i].err
+		}
+		relocs := eager[i].relocs
+		stats.CapsRelocated += relocs
+		stats.Latency += m.CapScanPage + sim.Time(relocs)*m.CapRelocate
+		stats.ScanTime += m.CapScanPage + sim.Time(relocs)*m.CapRelocate
 	}
 
 	// Inherit the parent's own unresolved relocations: a page the parent
 	// never privatised still holds grandparent-region capabilities, and the
 	// child shares that page. (CopyFull resolved everything above.)
 	if e.Mode != CopyFull {
-		for vpn := range parent.Pending {
+		parent.Pending.Range(func(vpn vm.VPN) bool {
 			off := uint64(vpn)*vm.PageSize - parent.Region.Base
-			child.Pending[vm.VPNOf(child.Region.Base+off)] = true
-		}
+			child.Pending.Add(vm.VPNOf(child.Region.Base + off))
+			return true
+		})
 	}
 
 	// 3. Relocate the capability register file (§3.5 step 2): tags extend
@@ -203,44 +260,58 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 	return stats, nil
 }
 
-// copyRelocate gives childVPN a private copy of src with all foreign-region
-// capabilities relocated into the child's region. Returns the relocation
-// count.
-func (e *Engine) copyRelocate(k *kernel.Kernel, child *kernel.Proc, childVPN vm.VPN, src *vm.Page, prot vm.Prot) (int, error) {
-	pfn, err := k.Mem.AllocFrame()
-	if err != nil {
-		return 0, err
+// eagerCopy is one queued unit of fork-time page work: copy frame src into
+// the child's private frame dst, then scan and relocate it. relocs and err
+// are filled by the worker that executes the job.
+type eagerCopy struct {
+	dst, src tmemPFN
+	relocs   int
+	err      error
+}
+
+// pageSlab hands out page descriptors in blocks of 256: a CopyFull fork
+// maps tens of thousands of fresh pages and one heap object per descriptor
+// was a measurable share of fork wall-clock. Descriptors stay reachable
+// through the page table; a block is collected when its last page dies.
+type pageSlab struct {
+	block []vm.Page
+}
+
+func (s *pageSlab) page(pfn tmemPFN) *vm.Page {
+	if len(s.block) == 0 {
+		s.block = make([]vm.Page, 256)
 	}
-	if err := k.Mem.CopyFrame(pfn, src.PFN); err != nil {
-		return 0, err
-	}
-	if err := child.AS.Map(childVPN, &vm.Page{PFN: pfn}, prot); err != nil {
-		return 0, err
-	}
-	return e.relocatePage(k, child, pfn)
+	p := &s.block[0]
+	s.block = s.block[1:]
+	p.PFN = pfn
+	return p
 }
 
 // relocatePage performs the 16-byte-stride tag scan over one frame and
 // relocates every capability that points outside the child's region
-// (§4.2 "Copy-on-Pointer-Access", three-step copy).
+// (§4.2 "Copy-on-Pointer-Access", three-step copy). The scan walks the
+// packed tag plane via ForEachTagged — allocation-free, and frames with a
+// zero cached tag count skip the loop entirely. Safe to run concurrently
+// with other relocatePage calls on distinct frames: it writes only the
+// frame it scans, and the shared counters it touches are atomic.
 func (e *Engine) relocatePage(k *kernel.Kernel, child *kernel.Proc, pfn tmemPFN) (int, error) {
-	offs, err := k.Mem.TaggedGranules(pfn)
-	if err != nil {
-		return 0, err
-	}
 	n := 0
-	for _, off := range offs {
+	err := k.Mem.ForEachTagged(pfn, func(off uint64) error {
 		c, err := k.Mem.LoadCap(pfn, off)
 		if err != nil {
-			return n, err
+			return err
 		}
 		nc, changed := RelocateCap(k, child, c)
 		if changed {
 			if err := k.Mem.RewriteCap(pfn, off, nc); err != nil {
-				return n, err
+				return err
 			}
 			n++
 		}
+		return nil
+	})
+	if err != nil {
+		return n, err
 	}
 	child.AS.Stats.CapsRelocated.Add(uint64(n))
 	return n, nil
@@ -348,7 +419,7 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Proc, f *vm.Fault, acc 
 	}
 	relocs := 0
 	scanned := false
-	if p.Pending[vpn] {
+	if p.Pending.Contains(vpn) {
 		// The frame content still refers to the ancestor region: scan and
 		// relocate (in place when the frame was adopted rather than
 		// copied — the copy was avoided but the relocation cannot be).
@@ -363,7 +434,7 @@ func (e *Engine) HandleFault(k *kernel.Kernel, p *kernel.Proc, f *vm.Fault, acc 
 			k.Obs.Tracer.Complete(int(p.PID), p.Task.ID, "relocation-scan", "fault",
 				uint64(scanStart), uint64(p.Task.Now()-scanStart), obs.A("caps", uint64(relocs)))
 		}
-		delete(p.Pending, vpn)
+		p.Pending.Remove(vpn)
 	}
 	if obs.On() && (copied || scanned) {
 		var copiedN uint64

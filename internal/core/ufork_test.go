@@ -216,7 +216,7 @@ func TestGOTRelocatedEagerly(t *testing.T) {
 			// must not be in the pending set.
 			gotBase := c.Layout.SegBase(c.Region.Base, kernel.SegGOT)
 			for pg := 0; pg < c.Layout.Pages[kernel.SegGOT]; pg++ {
-				if c.Pending[vm.VPNOf(gotBase+uint64(pg)*vm.PageSize)] {
+				if c.Pending.Contains(vm.VPNOf(gotBase + uint64(pg)*vm.PageSize)) {
 					t.Error("GOT page left pending: must be proactively relocated")
 				}
 			}
@@ -399,26 +399,25 @@ func TestNoParentCapabilityLeaks(t *testing.T) {
 							if pte.Page.Refs != 1 {
 								return // still shared: protected by CoPA barrier
 							}
-							if c.Pending[vpn] {
+							if c.Pending.Contains(vpn) {
 								return // not yet relocated, also not yet readable as caps
 							}
-							offs, err := k.Mem.TaggedGranules(pte.Page.PFN)
-							if err != nil {
-								t.Errorf("scan: %v", err)
-								return
-							}
-							for _, off := range offs {
+							err := k.Mem.ForEachTagged(pte.Page.PFN, func(off uint64) error {
 								cp, err := k.Mem.LoadCap(pte.Page.PFN, off)
 								if err != nil {
 									t.Errorf("load: %v", err)
-									return
+									return nil
 								}
 								if cp.IsSealed() {
-									continue // kernel entry sentry
+									return nil // kernel entry sentry
 								}
 								if cp.Base() < c.Region.Base || cp.Top() > c.Region.Top() {
 									t.Errorf("leaked capability at vpn %#x+%d: %v", uint64(vpn), off, cp)
 								}
+								return nil
+							})
+							if err != nil {
+								t.Errorf("scan: %v", err)
 							}
 						})
 				})

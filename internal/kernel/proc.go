@@ -56,10 +56,11 @@ type Proc struct {
 	// Region.Base for a freshly loaded image.
 	OriginBase uint64
 
-	// Pending tracks region offsets (in pages) whose frames still hold
-	// ancestor-region capabilities and need relocation when privatised.
-	// Maintained by the μFork engine.
-	Pending map[vm.VPN]bool
+	// Pending tracks region pages whose frames still hold ancestor-region
+	// capabilities and need relocation when privatised: a region-offset
+	// page bitmap maintained by the μFork engine. Nil for engines that
+	// never defer relocation (the multi-address-space baselines).
+	Pending *vm.PageSet
 
 	exited     bool
 	exitStatus int

@@ -67,9 +67,7 @@ func (k *Kernel) ShmMap(p *Proc, obj *ShmObject, off uint64) (mapped uint64, err
 			return 0, err
 		}
 		// Shared mappings are exempt from copy-on-fork bookkeeping.
-		if p.Pending != nil {
-			delete(p.Pending, vpn)
-		}
+		p.Pending.Remove(vpn)
 	}
 	return base, nil
 }

@@ -9,6 +9,12 @@
 // relocation pass can find every absolute memory reference in a page by a
 // 16-byte-stride tag scan with zero false positives (§3.4, block 3).
 //
+// The tag plane is stored compressed, as on real Morello hardware (whose
+// tag controller keeps tags in dedicated packed storage, not one byte per
+// granule): 256 granule tags pack into four uint64 bitset words, the scan
+// walks set bits with bits.TrailingZeros64, and a per-frame cached tag
+// population count lets capability-free pages skip the scan entirely.
+//
 // Byte-granularity writes clear the tags of every granule they touch,
 // modelling the hardware rule that partial overwrites destroy capability
 // validity.
@@ -18,6 +24,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"ufork/internal/cap"
 )
@@ -27,6 +35,13 @@ const PageSize = 4096
 
 // GranulesPerPage is the number of capability granules in one frame.
 const GranulesPerPage = PageSize / cap.GranuleSize
+
+// TagWords is the number of uint64 bitset words holding one frame's tags.
+const TagWords = GranulesPerPage / 64
+
+// TagPlaneBytes is the size of one frame's packed tag plane: the extra
+// bytes a frame copy moves beside its 4 KiB of data.
+const TagPlaneBytes = GranulesPerPage / 8
 
 // PFN is a physical frame number.
 type PFN uint64
@@ -51,19 +66,58 @@ var (
 // pattern. Clearing the tag leaves the bytes behind but revokes authority.
 type Frame struct {
 	Data [PageSize]byte
-	tags [GranulesPerPage]bool
+	// tags is the packed tag plane: bit g%64 of word g/64 is the validity
+	// tag of granule g.
+	tags [TagWords]uint64
+	// ntags caches the population count of tags so capability-free frames
+	// answer CountTags and ForEachTagged without touching the words.
+	ntags int32
 	// caps is allocated lazily on the first capability store: most frames
-	// hold plain data and never pay for a capability plane.
+	// hold plain data and never pay for a capability plane. A pooled frame
+	// keeps its caps array across reuse (stale entries are unobservable:
+	// every read is gated on the tag bit).
 	caps *[GranulesPerPage]cap.Capability
 }
 
+// tag reports granule g's validity bit.
+func (f *Frame) tag(g uint64) bool { return f.tags[g/64]>>(g%64)&1 != 0 }
+
+// setTag sets or clears granule g's validity bit, keeping ntags in step.
+func (f *Frame) setTag(g uint64, v bool) {
+	word, bit := g/64, uint64(1)<<(g%64)
+	if v {
+		if f.tags[word]&bit == 0 {
+			f.tags[word] |= bit
+			f.ntags++
+		}
+	} else if f.tags[word]&bit != 0 {
+		f.tags[word] &^= bit
+		f.ntags--
+	}
+}
+
+// reset returns the frame to its freshly allocated state. The caps array
+// is retained but inert: with every tag clear no stale capability is
+// reachable.
+func (f *Frame) reset() {
+	f.Data = [PageSize]byte{}
+	f.tags = [TagWords]uint64{}
+	f.ntags = 0
+}
+
 // Memory is a bank of tagged physical frames with a free-list allocator.
+// Freed Frames are pooled and reset on reuse rather than handed to the
+// garbage collector: fork-heavy workloads recycle tens of thousands of
+// frames per fork and the allocation churn dominated host wall-clock time.
 type Memory struct {
 	frames    []*Frame
 	freeList  []PFN
+	pool      []*Frame
 	allocated int
 	peak      int
-	totalOps  uint64 // statistics: byte-level read/write volume
+	// totalOps counts byte-level read/write/copy volume. Atomic: frame
+	// copies fan out across host goroutines on the fork hot path.
+	totalOps atomic.Uint64
 }
 
 // New creates a memory bank with the given number of physical frames.
@@ -87,13 +141,35 @@ func (m *Memory) Allocated() int { return m.allocated }
 func (m *Memory) PeakAllocated() int { return m.peak }
 
 // AllocFrame allocates a zeroed frame and returns its PFN.
-func (m *Memory) AllocFrame() (PFN, error) {
+func (m *Memory) AllocFrame() (PFN, error) { return m.alloc(true) }
+
+// AllocFrameForCopy allocates a frame whose data bytes are UNSPECIFIED (a
+// pooled frame keeps its previous contents); its tag plane is clear. The
+// caller must fully overwrite it with CopyFrame before anything reads it.
+// The fork eager-copy path uses this to skip zeroing 4 KiB per page that
+// the copy is about to overwrite anyway.
+func (m *Memory) AllocFrameForCopy() (PFN, error) { return m.alloc(false) }
+
+func (m *Memory) alloc(zero bool) (PFN, error) {
 	if len(m.freeList) == 0 {
 		return NoFrame, ErrOutOfMemory
 	}
 	pfn := m.freeList[len(m.freeList)-1]
 	m.freeList = m.freeList[:len(m.freeList)-1]
-	m.frames[pfn] = &Frame{}
+	if n := len(m.pool); n > 0 {
+		f := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		if zero {
+			f.reset()
+		} else {
+			f.tags = [TagWords]uint64{}
+			f.ntags = 0
+		}
+		m.frames[pfn] = f
+	} else {
+		m.frames[pfn] = &Frame{}
+	}
 	m.allocated++
 	if m.allocated > m.peak {
 		m.peak = m.allocated
@@ -101,14 +177,19 @@ func (m *Memory) AllocFrame() (PFN, error) {
 	return pfn, nil
 }
 
-// FreeFrame returns a frame to the allocator.
+// FreeFrame returns a frame to the allocator. Freeing a frame that is not
+// currently allocated reports ErrFreeFree; the frame's storage is retained
+// in the pool for the next AllocFrame.
 func (m *Memory) FreeFrame(pfn PFN) error {
-	f, err := m.frame(pfn)
-	if err != nil {
-		return err
+	if pfn == NoFrame || int(pfn) >= len(m.frames) {
+		return fmt.Errorf("%w: pfn %d", ErrBadFrame, pfn)
 	}
-	_ = f
+	f := m.frames[pfn]
+	if f == nil {
+		return fmt.Errorf("%w: pfn %d", ErrFreeFree, pfn)
+	}
 	m.frames[pfn] = nil
+	m.pool = append(m.pool, f)
 	m.freeList = append(m.freeList, pfn)
 	m.allocated--
 	return nil
@@ -139,7 +220,7 @@ func (m *Memory) ReadBytes(pfn PFN, off uint64, buf []byte) error {
 		return err
 	}
 	copy(buf, f.Data[off:])
-	m.totalOps += uint64(len(buf))
+	m.totalOps.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -154,12 +235,26 @@ func (m *Memory) WriteBytes(pfn PFN, off uint64, buf []byte) error {
 		return err
 	}
 	copy(f.Data[off:], buf)
-	first := off / cap.GranuleSize
-	last := (off + uint64(len(buf)) - 1) / cap.GranuleSize
-	for g := first; g <= last; g++ {
-		f.tags[g] = false
+	if f.ntags > 0 {
+		first := off / cap.GranuleSize
+		last := (off + uint64(len(buf)) - 1) / cap.GranuleSize
+		// Clear whole words at a time; the popcount of the cleared bits
+		// keeps the cached tag count exact.
+		for w := first / 64; w <= last/64; w++ {
+			mask := ^uint64(0)
+			if w == first/64 {
+				mask &= ^uint64(0) << (first % 64)
+			}
+			if w == last/64 && last%64 != 63 {
+				mask &= (uint64(1) << (last%64 + 1)) - 1
+			}
+			if cleared := f.tags[w] & mask; cleared != 0 {
+				f.tags[w] &^= mask
+				f.ntags -= int32(bits.OnesCount64(cleared))
+			}
+		}
 	}
-	m.totalOps += uint64(len(buf))
+	m.totalOps.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -179,7 +274,7 @@ func (m *Memory) LoadCap(pfn PFN, off uint64) (cap.Capability, error) {
 		return cap.Null(), err
 	}
 	g := off / cap.GranuleSize
-	if !f.tags[g] || f.caps == nil {
+	if !f.tag(g) || f.caps == nil {
 		// Untagged load: reconstruct an invalid capability whose cursor is
 		// whatever integer the bytes hold.
 		addr := binary.LittleEndian.Uint64(f.Data[off:])
@@ -206,7 +301,7 @@ func (m *Memory) StoreCap(pfn PFN, off uint64, c cap.Capability) error {
 	g := off / cap.GranuleSize
 	binary.LittleEndian.PutUint64(f.Data[off:], c.Addr())
 	binary.LittleEndian.PutUint64(f.Data[off+8:], c.Base())
-	f.tags[g] = c.Tag()
+	f.setTag(g, c.Tag())
 	if c.Tag() {
 		if f.caps == nil {
 			f.caps = new([GranulesPerPage]cap.Capability)
@@ -227,44 +322,51 @@ func (m *Memory) TagAt(pfn PFN, off uint64) (bool, error) {
 	if off%cap.GranuleSize != 0 {
 		return false, ErrUnaligned
 	}
-	return f.tags[off/cap.GranuleSize], nil
+	return f.tag(off / cap.GranuleSize), nil
 }
 
-// TaggedGranules returns the offsets of every tagged granule in frame pfn:
-// the 16-byte-stride tag scan at the heart of μFork's relocation pass.
-func (m *Memory) TaggedGranules(pfn PFN) ([]uint64, error) {
+// ForEachTagged calls fn with the byte offset of every tagged granule in
+// frame pfn, in ascending order: the 16-byte-stride tag scan at the heart
+// of μFork's relocation pass, allocation-free. A frame whose cached tag
+// count is zero returns without touching the tag words. fn may rewrite the
+// granule it is visiting (the word is snapshotted before its bits are
+// walked); a non-nil error from fn aborts the scan.
+func (m *Memory) ForEachTagged(pfn PFN, fn func(off uint64) error) error {
 	f, err := m.frame(pfn)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var out []uint64
-	for g, tag := range f.tags {
-		if tag {
-			out = append(out, uint64(g)*cap.GranuleSize)
+	if f.ntags == 0 {
+		return nil
+	}
+	for wi := range f.tags {
+		w := f.tags[wi]
+		for w != 0 {
+			g := uint64(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if err := fn(g * cap.GranuleSize); err != nil {
+				return err
+			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// CountTags returns the number of tagged granules in frame pfn.
+// CountTags returns the number of tagged granules in frame pfn, from the
+// per-frame cached population count.
 func (m *Memory) CountTags(pfn PFN) (int, error) {
 	f, err := m.frame(pfn)
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	for _, tag := range f.tags {
-		if tag {
-			n++
-		}
-	}
-	return n, nil
+	return int(f.ntags), nil
 }
 
 // CopyFrame copies the full contents of frame src — data bytes AND the tag
 // plane with its capabilities — into frame dst. This is the page-copy
 // primitive used by every copy-on-* strategy; the tag plane travels with
-// the data exactly as on Morello.
+// the data exactly as on Morello. The moved volume (data + packed tag
+// plane) is charged to the byte-accounting counter.
 func (m *Memory) CopyFrame(dst, src PFN) error {
 	fs, err := m.frame(src)
 	if err != nil {
@@ -276,22 +378,40 @@ func (m *Memory) CopyFrame(dst, src PFN) error {
 	}
 	fd.Data = fs.Data
 	fd.tags = fs.tags
-	if fs.caps != nil {
-		caps := *fs.caps
-		fd.caps = &caps
-	} else {
-		fd.caps = nil
+	fd.ntags = fs.ntags
+	if fs.caps != nil && fs.ntags > 0 {
+		if fd.caps == nil {
+			fd.caps = new([GranulesPerPage]cap.Capability)
+		}
+		if int(fs.ntags) >= GranulesPerPage/4 {
+			*fd.caps = *fs.caps
+		} else {
+			// Sparse page: copy only the tagged entries. Stale dst entries
+			// at untagged granules are unobservable — every capability read
+			// is gated on the (just copied) tag bit.
+			for wi := range fs.tags {
+				w := fs.tags[wi]
+				for w != 0 {
+					g := wi*64 + bits.TrailingZeros64(w)
+					w &= w - 1
+					fd.caps[g] = fs.caps[g]
+				}
+			}
+		}
 	}
+	// A stale fd.caps from a pooled frame is likewise unobservable when fs
+	// carried no tags: fd's tag plane is now all-clear.
+	m.totalOps.Add(PageSize + TagPlaneBytes)
 	return nil
 }
 
-// ZeroFrame clears a frame's data and tags.
+// ZeroFrame clears a frame's data, tags, and cached tag count.
 func (m *Memory) ZeroFrame(pfn PFN) error {
 	f, err := m.frame(pfn)
 	if err != nil {
 		return err
 	}
-	*f = Frame{}
+	f.reset()
 	return nil
 }
 
@@ -301,6 +421,6 @@ func (m *Memory) RewriteCap(pfn PFN, off uint64, c cap.Capability) error {
 	return m.StoreCap(pfn, off, c)
 }
 
-// BytesMoved returns the cumulative byte read/write volume, used by cost
-// accounting.
-func (m *Memory) BytesMoved() uint64 { return m.totalOps }
+// BytesMoved returns the cumulative byte read/write/copy volume, used by
+// cost accounting.
+func (m *Memory) BytesMoved() uint64 { return m.totalOps.Load() }

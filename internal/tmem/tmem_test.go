@@ -140,6 +140,20 @@ func TestUntaggedLoadSeesAddressBytes(t *testing.T) {
 	}
 }
 
+// taggedOffsets collects ForEachTagged's visit order (test helper standing
+// in for the removed slice-returning TaggedGranules).
+func taggedOffsets(t *testing.T, m *Memory, pfn PFN) []uint64 {
+	t.Helper()
+	var got []uint64
+	if err := m.ForEachTagged(pfn, func(off uint64) error {
+		got = append(got, off)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
 func TestTaggedGranulesScan(t *testing.T) {
 	m := New(1)
 	pfn, _ := m.AllocFrame()
@@ -150,10 +164,7 @@ func TestTaggedGranulesScan(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := m.TaggedGranules(pfn)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := taggedOffsets(t, m, pfn)
 	if len(got) != len(offs) {
 		t.Fatalf("found %d tagged granules, want %d", len(got), len(offs))
 	}
@@ -165,6 +176,146 @@ func TestTaggedGranulesScan(t *testing.T) {
 	n, _ := m.CountTags(pfn)
 	if n != 3 {
 		t.Fatalf("CountTags = %d", n)
+	}
+}
+
+// TestLastGranuleRoundTrip pins the top-of-frame corner: a capability in
+// the final granule (offset 4080, bit 63 of the last tag word) must
+// round-trip, scan, and clear like any other.
+func TestLastGranuleRoundTrip(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	c := cap.Root(0x9000, 0x100).SetAddr(0x9040)
+	if err := m.StoreCap(pfn, PageSize-cap.GranuleSize, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.LoadCap(pfn, 4080)
+	if err != nil || !got.Equal(c) {
+		t.Fatalf("last-granule load = %v, %v; want %v", got, err, c)
+	}
+	if offs := taggedOffsets(t, m, pfn); len(offs) != 1 || offs[0] != 4080 {
+		t.Fatalf("scan found %v, want [4080]", offs)
+	}
+	if n, _ := m.CountTags(pfn); n != 1 {
+		t.Fatalf("CountTags = %d, want 1", n)
+	}
+	// A write to the frame's final byte clears exactly that granule.
+	if err := m.WriteBytes(pfn, PageSize-1, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if tag, _ := m.TagAt(pfn, 4080); tag {
+		t.Fatal("write to last byte must clear last granule tag")
+	}
+	if n, _ := m.CountTags(pfn); n != 0 {
+		t.Fatalf("CountTags = %d after clear, want 0", n)
+	}
+}
+
+// TestWriteBytesSpanningGranules verifies a write straddling a granule
+// boundary clears exactly the touched granules' tags — neighbours keep
+// theirs and the cached count tracks the change.
+func TestWriteBytesSpanningGranules(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	// Tag granules 1, 2, 3 and 4 (offsets 16, 32, 48, 64).
+	for g := uint64(1); g <= 4; g++ {
+		if err := m.StoreCap(pfn, g*cap.GranuleSize, cap.Root(0x4000, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write bytes [30, 50): touches granules 1 (tail), 2, and 3 (head).
+	if err := m.WriteBytes(pfn, 30, make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{1: false, 2: false, 3: false, 4: true}
+	for g, wantTag := range want {
+		if tag, _ := m.TagAt(pfn, g*cap.GranuleSize); tag != wantTag {
+			t.Fatalf("granule %d tag = %v, want %v", g, tag, wantTag)
+		}
+	}
+	if n, _ := m.CountTags(pfn); n != 1 {
+		t.Fatalf("CountTags = %d, want 1", n)
+	}
+}
+
+// TestCopyFrameCountsBytesMoved is the regression test for the cost-
+// accounting gap: CopyFrame moves 4 KiB of data plus the packed tag plane
+// and must charge both to BytesMoved.
+func TestCopyFrameCountsBytesMoved(t *testing.T) {
+	m := New(2)
+	src, _ := m.AllocFrame()
+	dst, _ := m.AllocFrame()
+	if err := m.StoreCap(src, 0, cap.Root(0x1000, 64)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.BytesMoved()
+	if err := m.CopyFrame(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BytesMoved() - before; got != PageSize+TagPlaneBytes {
+		t.Fatalf("CopyFrame moved %d bytes, want %d", got, PageSize+TagPlaneBytes)
+	}
+}
+
+// TestDoubleFree verifies the double-free error actually fires, and that
+// out-of-range frees stay ErrBadFrame.
+func TestDoubleFree(t *testing.T) {
+	m := New(2)
+	pfn, _ := m.AllocFrame()
+	if err := m.FreeFrame(pfn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreeFrame(pfn); !errors.Is(err, ErrFreeFree) {
+		t.Fatalf("double free = %v, want ErrFreeFree", err)
+	}
+	// A never-allocated frame is equally not-allocated: double-free class.
+	if err := m.FreeFrame(PFN(1)); !errors.Is(err, ErrFreeFree) {
+		t.Fatalf("free of never-allocated frame = %v, want ErrFreeFree", err)
+	}
+	if err := m.FreeFrame(NoFrame); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("free of NoFrame = %v, want ErrBadFrame", err)
+	}
+	if err := m.FreeFrame(PFN(99)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("out-of-range free = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestFramePoolReuse verifies a pooled frame comes back fully reset: no
+// data, no tags, no cached count — even when the previous tenant held
+// capabilities.
+func TestFramePoolReuse(t *testing.T) {
+	m := New(1)
+	pfn, _ := m.AllocFrame()
+	if err := m.StoreCap(pfn, 128, cap.Root(0x2000, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(pfn, 512, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreeFrame(pfn); err != nil {
+		t.Fatal(err)
+	}
+	pfn2, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfn2 != pfn {
+		t.Fatalf("expected frame reuse, got pfn %d vs %d", pfn2, pfn)
+	}
+	if n, _ := m.CountTags(pfn2); n != 0 {
+		t.Fatalf("pooled frame CountTags = %d, want 0", n)
+	}
+	buf := make([]byte, PageSize)
+	if err := m.ReadBytes(pfn2, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("pooled frame byte %d = %#x, want 0", i, b)
+		}
+	}
+	if offs := taggedOffsets(t, m, pfn2); len(offs) != 0 {
+		t.Fatalf("pooled frame has tagged granules %v", offs)
 	}
 }
 
@@ -221,6 +372,9 @@ func TestZeroFrame(t *testing.T) {
 	if tag {
 		t.Fatal("zeroing must clear tags")
 	}
+	if n, _ := m.CountTags(pfn); n != 0 {
+		t.Fatalf("zeroing must clear the cached tag count, got %d", n)
+	}
 }
 
 // Property: store/load round-trips for arbitrary offsets and payloads.
@@ -265,17 +419,21 @@ func TestTagSoundnessProperty(t *testing.T) {
 				_ = m.WriteBytes(pfn, off, []byte{1, 2, 3})
 			}
 		}
-		offs, err := m.TaggedGranules(pfn)
-		if err != nil {
-			return false
-		}
-		for _, off := range offs {
+		sound := true
+		if err := m.ForEachTagged(pfn, func(off uint64) error {
 			c, err := m.LoadCap(pfn, off)
 			if err != nil || !c.Tag() {
-				return false
+				sound = false
 			}
+			return nil
+		}); err != nil {
+			return false
 		}
-		return true
+		// The cached count must agree with the scan.
+		n, visited := 0, 0
+		_ = m.ForEachTagged(pfn, func(uint64) error { visited++; return nil })
+		n, _ = m.CountTags(pfn)
+		return sound && n == visited
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,99 @@
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PageSet is a fixed-range bitmap of virtual page numbers, indexed by
+// page offset from a base VPN. μFork uses one per μprocess to track which
+// region pages still hold ancestor-region capabilities awaiting relocation
+// (Proc.Pending): a child region of even 256 MiB needs only 8 KiB of
+// bitmap, against the per-entry allocation churn of the map[VPN]bool it
+// replaces on the fork hot path.
+//
+// A nil *PageSet behaves as the empty set for queries and removals, which
+// lets engines that never track pending relocations (the multi-address-
+// space baselines) skip allocating one.
+type PageSet struct {
+	base  VPN
+	words []uint64
+	count int
+}
+
+// NewPageSet creates an empty set covering the npages pages starting at
+// base.
+func NewPageSet(base VPN, npages int) *PageSet {
+	return &PageSet{base: base, words: make([]uint64, (npages+63)/64)}
+}
+
+// index converts vpn to a (word, bit) slot, reporting whether it is in
+// range.
+func (s *PageSet) index(vpn VPN) (int, uint64, bool) {
+	if s == nil || vpn < s.base {
+		return 0, 0, false
+	}
+	off := uint64(vpn - s.base)
+	w := int(off / 64)
+	if w >= len(s.words) {
+		return 0, 0, false
+	}
+	return w, uint64(1) << (off % 64), true
+}
+
+// Add inserts vpn. Adding a page outside the covered range panics: the
+// engine computes pending pages from the region that sized the set, so an
+// out-of-range add is a bookkeeping bug.
+func (s *PageSet) Add(vpn VPN) {
+	w, bit, ok := s.index(vpn)
+	if !ok {
+		panic(fmt.Sprintf("vm: PageSet.Add(%#x) outside [%#x, %#x)", vpn, s.base, s.base+VPN(len(s.words)*64)))
+	}
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.count++
+	}
+}
+
+// Remove deletes vpn; removing an absent or out-of-range page is a no-op.
+func (s *PageSet) Remove(vpn VPN) {
+	w, bit, ok := s.index(vpn)
+	if !ok {
+		return
+	}
+	if s.words[w]&bit != 0 {
+		s.words[w] &^= bit
+		s.count--
+	}
+}
+
+// Contains reports whether vpn is in the set.
+func (s *PageSet) Contains(vpn VPN) bool {
+	w, bit, ok := s.index(vpn)
+	return ok && s.words[w]&bit != 0
+}
+
+// Len returns the number of pages in the set.
+func (s *PageSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Range calls fn for every page in the set in ascending VPN order,
+// stopping early if fn returns false.
+func (s *PageSet) Range(fn func(VPN) bool) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			vpn := s.base + VPN(wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+			if !fn(vpn) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package vm
+
+import "testing"
+
+func TestPageSetBasics(t *testing.T) {
+	s := NewPageSet(100, 200)
+	if s.Len() != 0 || s.Contains(100) {
+		t.Fatal("new set not empty")
+	}
+	s.Add(100)
+	s.Add(163) // last bit of the first word
+	s.Add(164) // first bit of the second word
+	s.Add(299) // last covered page
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	s.Add(100) // duplicate add is idempotent
+	if s.Len() != 4 {
+		t.Fatalf("Len after dup add = %d, want 4", s.Len())
+	}
+	for _, vpn := range []VPN{100, 163, 164, 299} {
+		if !s.Contains(vpn) {
+			t.Fatalf("missing vpn %d", vpn)
+		}
+	}
+	if s.Contains(101) || s.Contains(99) || s.Contains(300) {
+		t.Fatal("contains pages never added")
+	}
+	var got []VPN
+	s.Range(func(vpn VPN) bool { got = append(got, vpn); return true })
+	want := []VPN{100, 163, 164, 299}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", got, want)
+		}
+	}
+	s.Remove(163)
+	s.Remove(163) // idempotent
+	s.Remove(99)  // out of range: no-op
+	if s.Len() != 3 || s.Contains(163) {
+		t.Fatalf("after removes: Len=%d Contains(163)=%v", s.Len(), s.Contains(163))
+	}
+}
+
+func TestPageSetNil(t *testing.T) {
+	var s *PageSet
+	if s.Len() != 0 || s.Contains(5) {
+		t.Fatal("nil set must be empty")
+	}
+	s.Remove(5) // no-op
+	s.Range(func(VPN) bool { t.Fatal("nil Range must not visit"); return false })
+}
+
+func TestPageSetAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add must panic")
+		}
+	}()
+	NewPageSet(0, 64).Add(64)
+}
+
+func TestPageSetRangeEarlyStop(t *testing.T) {
+	s := NewPageSet(0, 128)
+	for i := 0; i < 10; i++ {
+		s.Add(VPN(i * 7))
+	}
+	n := 0
+	s.Range(func(VPN) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}

@@ -139,11 +139,44 @@ var (
 	ErrNotMapped     = errors.New("vm: page not mapped")
 )
 
+// Page-table geometry: PTEs live in fixed 512-entry directory nodes keyed
+// by vpn>>dirBits, like a real two-level radix table. Directories slab-
+// allocate their PTEs (one allocation per 512 mappings instead of one per
+// Map), empty directories return to a free pool, and range walks iterate
+// directory slots in index order — naturally ascending, no sorting.
+const (
+	dirBits = 9
+	dirSize = 1 << dirBits
+	dirMask = dirSize - 1
+)
+
+// pageDir is one directory node. A slot is live iff its Page is non-nil;
+// live counts them so the node can be pooled the moment it empties. A
+// pooled node is always all-zero: every Unmap clears its slot.
+type pageDir struct {
+	ptes [dirSize]PTE
+	live int
+}
+
 // AddressSpace is one page table. The zero value is not usable; call
 // NewAddressSpace.
+//
+// *PTE pointers returned by Lookup/Translate/RangeVPNs point into
+// directory storage and remain valid only until that mapping is unmapped.
 type AddressSpace struct {
-	mem   *tmem.Memory
-	table map[VPN]*PTE
+	mem  *tmem.Memory
+	dirs map[VPN]*pageDir
+	// mapped counts live PTEs across all directories.
+	mapped int
+	// dirPool recycles emptied directory nodes: fork/exit churn maps and
+	// unmaps tens of thousands of pages and the node allocations dominated.
+	dirPool []*pageDir
+	// scratch is the reusable VPN snapshot buffer for range walks.
+	scratch []VPN
+	// lastKey/lastDir cache the most recent directory hit; sequential page
+	// walks (copies, region scans) then skip the map lookup entirely.
+	lastKey VPN
+	lastDir *pageDir
 
 	// Stats counts fault activity for experiment accounting.
 	Stats Stats
@@ -213,8 +246,8 @@ func (s *Stats) Reset() {
 // NewAddressSpace creates an empty address space over physical memory mem.
 func NewAddressSpace(mem *tmem.Memory) *AddressSpace {
 	return &AddressSpace{
-		mem:   mem,
-		table: make(map[VPN]*PTE),
+		mem:  mem,
+		dirs: make(map[VPN]*pageDir),
 	}
 }
 
@@ -222,16 +255,44 @@ func NewAddressSpace(mem *tmem.Memory) *AddressSpace {
 func (as *AddressSpace) Mem() *tmem.Memory { return as.mem }
 
 // MappedPages returns the number of mapped pages.
-func (as *AddressSpace) MappedPages() int { return len(as.table) }
+func (as *AddressSpace) MappedPages() int { return as.mapped }
+
+// dir returns the directory node covering key (= vpn>>dirBits), creating
+// one (from the pool when possible) if create is set.
+func (as *AddressSpace) dir(key VPN, create bool) *pageDir {
+	if as.lastDir != nil && as.lastKey == key {
+		return as.lastDir
+	}
+	d := as.dirs[key]
+	if d == nil {
+		if !create {
+			return nil
+		}
+		if n := len(as.dirPool); n > 0 {
+			d = as.dirPool[n-1]
+			as.dirPool[n-1] = nil
+			as.dirPool = as.dirPool[:n-1]
+		} else {
+			d = &pageDir{}
+		}
+		as.dirs[key] = d
+	}
+	as.lastKey, as.lastDir = key, d
+	return d
+}
 
 // Map installs a PTE for vpn referencing page with protection prot,
 // incrementing the page's reference count.
 func (as *AddressSpace) Map(vpn VPN, page *Page, prot Prot) error {
-	if _, ok := as.table[vpn]; ok {
+	d := as.dir(vpn>>dirBits, true)
+	pte := &d.ptes[vpn&dirMask]
+	if pte.Page != nil {
 		return fmt.Errorf("%w: vpn %#x", ErrAlreadyMapped, vpn)
 	}
 	page.Refs++
-	as.table[vpn] = &PTE{Page: page, Prot: prot}
+	pte.Page, pte.Prot = page, prot
+	d.live++
+	as.mapped++
 	return nil
 }
 
@@ -251,27 +312,49 @@ func (as *AddressSpace) MapNew(vpn VPN, prot Prot) (*Page, error) {
 }
 
 // Unmap removes the PTE for vpn, dropping the page reference and freeing
-// the frame when the last reference dies.
+// the frame when the last reference dies. A directory emptied by the unmap
+// returns to the node pool.
 func (as *AddressSpace) Unmap(vpn VPN) error {
-	pte, ok := as.table[vpn]
-	if !ok {
+	key := vpn >> dirBits
+	d := as.dir(key, false)
+	if d == nil || d.ptes[vpn&dirMask].Page == nil {
 		return fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
 	}
-	delete(as.table, vpn)
-	pte.Page.Refs--
-	if pte.Page.Refs == 0 {
-		return as.mem.FreeFrame(pte.Page.PFN)
+	pte := &d.ptes[vpn&dirMask]
+	page := pte.Page
+	*pte = PTE{}
+	d.live--
+	as.mapped--
+	if d.live == 0 {
+		delete(as.dirs, key)
+		as.dirPool = append(as.dirPool, d)
+		if as.lastDir == d {
+			as.lastDir = nil
+		}
+	}
+	page.Refs--
+	if page.Refs == 0 {
+		return as.mem.FreeFrame(page.PFN)
 	}
 	return nil
 }
 
 // Lookup returns the PTE for vpn, or nil when unmapped.
-func (as *AddressSpace) Lookup(vpn VPN) *PTE { return as.table[vpn] }
+func (as *AddressSpace) Lookup(vpn VPN) *PTE {
+	d := as.dir(vpn>>dirBits, false)
+	if d == nil {
+		return nil
+	}
+	if pte := &d.ptes[vpn&dirMask]; pte.Page != nil {
+		return pte
+	}
+	return nil
+}
 
 // Protect replaces the protection bits of an existing mapping.
 func (as *AddressSpace) Protect(vpn VPN, prot Prot) error {
-	pte, ok := as.table[vpn]
-	if !ok {
+	pte := as.Lookup(vpn)
+	if pte == nil {
 		return fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
 	}
 	pte.Prot = prot
@@ -282,8 +365,8 @@ func (as *AddressSpace) Protect(vpn VPN, prot Prot) error {
 // backing PFN and in-page offset; on failure a *Fault describing why.
 // Fault statistics are recorded.
 func (as *AddressSpace) Translate(va uint64, acc Access) (tmem.PFN, uint64, *Fault) {
-	pte, ok := as.table[VPNOf(va)]
-	if !ok {
+	pte := as.Lookup(VPNOf(va))
+	if pte == nil {
 		return as.fault(FaultNotMapped, va)
 	}
 	switch acc {
@@ -324,8 +407,8 @@ func (as *AddressSpace) fault(kind FaultKind, va uint64) (tmem.PFN, uint64, *Fau
 // whether a physical copy happened. This is the CoW/CoA/CoPA resolution
 // primitive.
 func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
-	pte, ok := as.table[vpn]
-	if !ok {
+	pte := as.Lookup(vpn)
+	if pte == nil {
 		return nil, false, fmt.Errorf("%w: vpn %#x", ErrNotMapped, vpn)
 	}
 	if pte.Page.Refs == 1 {
@@ -334,7 +417,7 @@ func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
 		as.Stats.PagesAdopted.Inc()
 		return pte.Page, false, nil
 	}
-	pfn, err := as.mem.AllocFrame()
+	pfn, err := as.mem.AllocFrameForCopy()
 	if err != nil {
 		return nil, false, err
 	}
@@ -349,24 +432,72 @@ func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
 	return pte.Page, true, nil
 }
 
-// VPNs returns all mapped virtual page numbers in ascending order.
+// VPNs returns all mapped virtual page numbers in ascending order. Only
+// the directory keys need sorting — a few dozen entries where the old flat
+// table sorted every mapped page.
 func (as *AddressSpace) VPNs() []VPN {
-	out := make([]VPN, 0, len(as.table))
-	for vpn := range as.table {
-		out = append(out, vpn)
+	keys := make([]VPN, 0, len(as.dirs))
+	for k := range as.dirs {
+		keys = append(keys, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]VPN, 0, as.mapped)
+	for _, k := range keys {
+		d := as.dirs[k]
+		for i := VPN(0); i < dirSize; i++ {
+			if d.ptes[i].Page != nil {
+				out = append(out, k<<dirBits|i)
+			}
+		}
+	}
 	return out
 }
 
-// RangeVPNs calls fn for each mapped page in [startVPN, endVPN), in
-// ascending order.
-func (as *AddressSpace) RangeVPNs(startVPN, endVPN VPN, fn func(VPN, *PTE)) {
-	for _, vpn := range as.VPNs() {
-		if vpn >= startVPN && vpn < endVPN {
-			fn(vpn, as.table[vpn])
+// snapshotRange collects the mapped VPNs of [startVPN, endVPN) in ascending
+// order into as.scratch (taking ownership of the buffer, so a walk callback
+// that itself walks this address space degrades to a fresh allocation
+// rather than corruption) and returns it. Directory keys are probed
+// sequentially — regions are contiguous, so the probe count is span/512.
+func (as *AddressSpace) snapshotRange(startVPN, endVPN VPN) []VPN {
+	scratch := as.scratch[:0]
+	as.scratch = nil
+	if startVPN >= endVPN || as.mapped == 0 {
+		return scratch
+	}
+	startKey, endKey := startVPN>>dirBits, (endVPN-1)>>dirBits
+	for key := startKey; key <= endKey; key++ {
+		d := as.dirs[key]
+		if d == nil {
+			continue
+		}
+		lo, hi := VPN(0), VPN(dirSize)
+		if key == startKey {
+			lo = startVPN & dirMask
+		}
+		if key == endKey {
+			hi = (endVPN-1)&dirMask + 1
+		}
+		for i := lo; i < hi; i++ {
+			if d.ptes[i].Page != nil {
+				scratch = append(scratch, key<<dirBits|i)
+			}
 		}
 	}
+	return scratch
+}
+
+// RangeVPNs calls fn for each mapped page in [startVPN, endVPN), in
+// ascending order. The set of pages visited is snapshotted up front: fn may
+// map and unmap pages (anywhere) without disturbing the walk, and a page fn
+// unmaps is simply skipped when its turn comes.
+func (as *AddressSpace) RangeVPNs(startVPN, endVPN VPN, fn func(VPN, *PTE)) {
+	scratch := as.snapshotRange(startVPN, endVPN)
+	for _, vpn := range scratch {
+		if pte := as.Lookup(vpn); pte != nil {
+			fn(vpn, pte)
+		}
+	}
+	as.scratch = scratch[:0]
 }
 
 // RegionUsage summarises memory occupancy of a virtual address range.
@@ -397,13 +528,13 @@ func (as *AddressSpace) Usage(base, size uint64) RegionUsage {
 
 // UnmapRange unmaps every mapped page in [base, base+size).
 func (as *AddressSpace) UnmapRange(base, size uint64) error {
-	start, end := VPNOf(base), VPNOf(base+size-1)+1
-	for _, vpn := range as.VPNs() {
-		if vpn >= start && vpn < end {
-			if err := as.Unmap(vpn); err != nil {
-				return err
-			}
+	scratch := as.snapshotRange(VPNOf(base), VPNOf(base+size-1)+1)
+	for _, vpn := range scratch {
+		if err := as.Unmap(vpn); err != nil {
+			as.scratch = scratch[:0]
+			return err
 		}
 	}
+	as.scratch = scratch[:0]
 	return nil
 }
