@@ -1,0 +1,167 @@
+// Command covreport turns a Go coverprofile into a per-package coverage
+// report with an enforced floor.
+//
+// Usage:
+//
+//	go test ./... -coverprofile=cover.out
+//	covreport -profile cover.out [-floor 50] [-md]
+//
+// It aggregates statement coverage per package, prints a table (GitHub
+// markdown with -md, for piping into $GITHUB_STEP_SUMMARY), and exits
+// nonzero if any package falls below the floor percentage. -floor 0
+// reports without enforcing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (c pkgCov) pct() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile produced by go test -coverprofile")
+	floor := flag.Float64("floor", 0, "minimum per-package statement coverage percentage (0 = report only)")
+	md := flag.Bool("md", false, "emit a GitHub markdown table instead of plain text")
+	flag.Parse()
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covreport:", err)
+		os.Exit(1)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "covreport: profile contains no coverage blocks")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(pkgs))
+	var all pkgCov
+	for name, c := range pkgs {
+		names = append(names, name)
+		all.total += c.total
+		all.covered += c.covered
+	}
+	sort.Strings(names)
+
+	var failed []string
+	if *md {
+		fmt.Println("| package | statements | covered | coverage | floor |")
+		fmt.Println("|---|---:|---:|---:|:---:|")
+	} else {
+		fmt.Printf("%-40s %10s %8s %9s\n", "package", "statements", "covered", "coverage")
+	}
+	for _, name := range names {
+		c := pkgs[name]
+		mark := ""
+		if *floor > 0 {
+			if c.pct() < *floor {
+				mark = "BELOW"
+				failed = append(failed, fmt.Sprintf("%s %.1f%% < %.1f%%", name, c.pct(), *floor))
+			} else {
+				mark = "ok"
+			}
+		}
+		if *md {
+			fmt.Printf("| %s | %d | %d | %.1f%% | %s |\n", name, c.total, c.covered, c.pct(), mark)
+		} else {
+			fmt.Printf("%-40s %10d %8d %8.1f%% %s\n", name, c.total, c.covered, c.pct(), mark)
+		}
+	}
+	if *md {
+		fmt.Printf("| **total** | %d | %d | **%.1f%%** | |\n", all.total, all.covered, all.pct())
+	} else {
+		fmt.Printf("%-40s %10d %8d %8.1f%%\n", "total", all.total, all.covered, all.pct())
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "covreport: %d package(s) below the %.1f%% floor:\n", len(failed), *floor)
+		for _, f := range failed {
+			fmt.Fprintln(os.Stderr, " ", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseProfile aggregates a coverprofile's blocks per package. Profile
+// lines look like:
+//
+//	ufork/internal/vm/vm.go:12.20,14.2 3 1
+//
+// i.e. file:location numStatements hitCount. With -coverpkg, `go test
+// ./...` appends every test binary's view of every package to one file,
+// so the same block appears many times: blocks are deduplicated by
+// file:location and a block counts as covered if ANY binary hit it (the
+// union, which is what mode: set semantics mean).
+func parseProfile(name string) (map[string]pkgCov, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int
+		hit   bool
+	}
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		key := line[:colon] + ":" + fields[0]
+		b := blocks[key]
+		b.stmts = stmts
+		b.hit = b.hit || count > 0
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	pkgs := make(map[string]pkgCov)
+	for key, b := range blocks {
+		file := key[:strings.Index(key, ":")]
+		c := pkgs[path.Dir(file)]
+		c.total += b.stmts
+		if b.hit {
+			c.covered += b.stmts
+		}
+		pkgs[path.Dir(file)] = c
+	}
+	return pkgs, nil
+}

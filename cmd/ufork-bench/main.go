@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist] [-full]
-//	            [-trace out.json] [-metrics out.json] [-parallel N]
+//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist|stress]
+//	            [-full] [-trace out.json] [-metrics out.json] [-parallel N] [-seed N]
+//
+// -exp stress (never part of "all") soaks the kernel with the chaos
+// harness: seeded random syscall programs across every copy mode ×
+// isolation level, clean and under aggressive fault injection, with
+// kernel-wide invariant audits. Any failure prints a one-line repro
+// carrying the seed; -seed replays it.
 //
 // Quick mode (default) uses reduced database sizes, windows and iteration
 // counts; -full runs the paper's parameters (100 MB databases, 1000
@@ -27,11 +33,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, stress)")
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	parallel := flag.Int("parallel", 0, "host worker-pool width for eager fork copies (0 = one per CPU, 1 = serial); virtual-time results are identical at any setting")
+	seed := flag.Int64("seed", 1, "base seed for -exp stress; a failure's printed repro line names the exact seed to replay")
 	flag.Parse()
 
 	bench.Parallelism = *parallel
@@ -108,6 +115,18 @@ func main() {
 		rows, err := bench.ForkHist(iters)
 		die(err)
 		fmt.Println(bench.RenderForkHist(rows))
+		ran = true
+	}
+	// The stress soak is explicit-only (not part of -exp all): it is a
+	// robustness harness, not a paper experiment.
+	if *exp == "stress" {
+		rounds, maxOps := 2, 2500
+		if *full {
+			rounds, maxOps = 10, 8000
+		}
+		rows := bench.Stress(*seed, rounds, maxOps)
+		fmt.Println(bench.RenderStress(rows))
+		die(bench.StressFailures(rows))
 		ran = true
 	}
 	if !ran {

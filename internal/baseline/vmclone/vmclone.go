@@ -52,16 +52,21 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 			return
 		}
 		if err := k.Mem.CopyFrame(pfn, pte.Page.PFN); err != nil {
+			_ = k.Mem.FreeFrame(pfn)
 			copyErr = err
 			return
 		}
 		off := uint64(vpn)*vm.PageSize - parent.Region.Base
 		seg, ok := parent.Layout.SegmentOf(off)
 		if !ok {
+			_ = k.Mem.FreeFrame(pfn)
 			copyErr = fmt.Errorf("vmclone: page %#x outside image", uint64(vpn)*vm.PageSize)
 			return
 		}
 		if err := child.AS.Map(vpn, &vm.Page{PFN: pfn}, seg.NaturalProt()); err != nil {
+			// Allocated but never mapped: free here or the abort path's
+			// page-table walk will never find it.
+			_ = k.Mem.FreeFrame(pfn)
 			copyErr = err
 			return
 		}

@@ -1,0 +1,157 @@
+// Package chaos is the deterministic robustness harness: seeded fault
+// injection, a syscall-sequence fuzzer over the real kernel surface, and
+// (via the invariant subpackage) a kernel-wide conservation-law audit.
+//
+// Everything is driven by one seed. The injector draws its schedule from a
+// seeded PRNG, the program generator derives op streams from seeded bytes,
+// and the simulation itself is a deterministic discrete-event engine — so
+// any failure replays, bit for bit, from the one-line seed it prints.
+package chaos
+
+import (
+	"math/rand"
+
+	"ufork/internal/kernel"
+	"ufork/internal/tmem"
+	"ufork/internal/vm"
+)
+
+// Plan sets the injection rates of one chaos run. Each "Every" field is a
+// 1-in-N probability per opportunity; zero disables that fault class.
+type Plan struct {
+	// AllocFailEvery fails 1-in-N frame allocations with ErrOutOfMemory:
+	// physical-memory exhaustion at arbitrary points (mid-fork, mid-fault,
+	// mid-load).
+	AllocFailEvery int
+	// SyscallErrEvery fails 1-in-N fallible syscalls at entry with
+	// kernel.ErrInterrupted: the EINTR storm.
+	SyscallErrEvery int
+	// MapFailEvery fails 1-in-N PTE installs with vm.ErrInjected.
+	MapFailEvery int
+	// SpuriousFaultEvery turns 1-in-N safe write translations into a
+	// spurious write-protect fault the handler must resolve idempotently.
+	SpuriousFaultEvery int
+	// PoisonFreed fills freed frames with a poison pattern so any
+	// use-after-free reads garbage instead of plausible stale data.
+	PoisonFreed bool
+}
+
+// Aggressive returns a plan with every fault class armed at rates that
+// fire many times per thousand-op program.
+func Aggressive() Plan {
+	return Plan{
+		AllocFailEvery:     211,
+		SyscallErrEvery:    37,
+		MapFailEvery:       257,
+		SpuriousFaultEvery: 61,
+		PoisonFreed:        true,
+	}
+}
+
+// Injector is a seed-deterministic fault schedule. Arm wires it into a
+// kernel's tmem, vm, and syscall interception points; every decision
+// comes from the seeded PRNG, so identical (seed, plan, workload) triples
+// replay identical fault schedules.
+//
+// All hook sites run on the single executing simulation task (frame
+// allocation, PTE install, translation, and syscall entry are serial even
+// when eager fork copies fan across host workers), so the PRNG needs no
+// locking and the draw order is deterministic.
+type Injector struct {
+	rng  *rand.Rand
+	plan Plan
+	// counts tallies fired injections by class.
+	counts map[string]int
+	// Spurious-fault re-entrancy damper: never fire twice in a row on the
+	// same page, so the handler's resolve-and-retry always converges
+	// instead of tripping the kernel's fault-loop backstop.
+	lastSpuriousVPN vm.VPN
+	spuriousFired   bool
+}
+
+// NewInjector creates an injector drawing its schedule from seed.
+func NewInjector(seed int64, plan Plan) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		plan:   plan,
+		counts: make(map[string]int),
+	}
+}
+
+// Arm wires the injector into k: syscall failures on the kernel, frame
+// faults on its physical memory, and map/translate faults on the shared
+// address space (single-address-space machines; the multi-AS baselines
+// create per-process address spaces the harness does not chase).
+// Call after the root process is spawned so the initial image always
+// loads, and before Run.
+func (in *Injector) Arm(k *kernel.Kernel) {
+	k.Chaos = in
+	k.Mem.SetHooks(&tmem.Hooks{
+		FailAlloc:   in.failAlloc,
+		PoisonFreed: in.plan.PoisonFreed,
+	})
+	if k.SharedAS != nil {
+		k.SharedAS.SetHooks(&vm.Hooks{
+			FailMap:       in.failMap,
+			SpuriousFault: in.spuriousFault,
+		})
+	}
+}
+
+// Counts returns the injections fired so far, by class.
+func (in *Injector) Counts() map[string]int { return in.counts }
+
+// Fired returns the total number of injections fired.
+func (in *Injector) Fired() int {
+	n := 0
+	for _, v := range in.counts {
+		n += v
+	}
+	return n
+}
+
+// fire draws one 1-in-n decision. n <= 0 never fires.
+func (in *Injector) fire(n int) bool {
+	return n > 0 && in.rng.Intn(n) == 0
+}
+
+func (in *Injector) failAlloc() bool {
+	if in.fire(in.plan.AllocFailEvery) {
+		in.counts["alloc-fail"]++
+		return true
+	}
+	return false
+}
+
+func (in *Injector) failMap(vpn vm.VPN) bool {
+	if in.fire(in.plan.MapFailEvery) {
+		in.counts["map-fail"]++
+		return true
+	}
+	return false
+}
+
+func (in *Injector) spuriousFault(vpn vm.VPN) bool {
+	if in.spuriousFired && in.lastSpuriousVPN == vpn {
+		// The retry after the handler resolved the injected fault: let it
+		// through, whatever the dice say.
+		in.spuriousFired = false
+		return false
+	}
+	if in.fire(in.plan.SpuriousFaultEvery) {
+		in.counts["spurious-fault"]++
+		in.lastSpuriousVPN = vpn
+		in.spuriousFired = true
+		return true
+	}
+	return false
+}
+
+// SyscallError implements kernel.SyscallFailer.
+func (in *Injector) SyscallError(name string) error {
+	if in.fire(in.plan.SyscallErrEvery) {
+		in.counts["syscall-"+name]++
+		return kernel.ErrInterrupted
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ufork/internal/chaos/invariant"
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+	"ufork/internal/tmem"
+)
+
+var allModes = []core.CopyMode{core.CopyOnPointerAccess, core.CopyOnAccess, core.CopyFull}
+var allIsos = []kernel.IsolationLevel{kernel.IsolationNone, kernel.IsolationFault, kernel.IsolationFull}
+
+// TestRandomSchedulesClean is the acceptance matrix: 10k-op seeded random
+// schedules across every copy mode × isolation level, no fault injection,
+// with periodic and final invariant audits. Any divergence between kernel
+// and shadow model, any invariant violation, or any leaked frame fails.
+func TestRandomSchedulesClean(t *testing.T) {
+	maxOps := 10000
+	if testing.Short() {
+		maxOps = 1500
+	}
+	for _, mode := range allModes {
+		for _, iso := range allIsos {
+			t.Run(fmt.Sprintf("%s/%s", mode, iso), func(t *testing.T) {
+				cfg := Config{Mode: mode, Iso: iso, Seed: 1, MaxOps: maxOps, ProgBytes: 4 * maxOps}
+				res, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 || res.Checks == 0 {
+					t.Fatalf("degenerate run: %+v", res)
+				}
+				t.Logf("ops=%d forks=%d maxLive=%d checks=%d", res.Ops, res.Forks, res.MaxLive, res.Checks)
+			})
+		}
+	}
+}
+
+// TestRandomSchedulesUnderFire repeats the matrix with every fault class
+// armed. Injected failures are tolerated; divergence, invariant
+// violations, and frame leaks still are not.
+func TestRandomSchedulesUnderFire(t *testing.T) {
+	maxOps := 6000
+	if testing.Short() {
+		maxOps = 1500
+	}
+	for _, mode := range allModes {
+		for _, iso := range allIsos {
+			t.Run(fmt.Sprintf("%s/%s", mode, iso), func(t *testing.T) {
+				cfg := Config{Mode: mode, Iso: iso, Seed: 2, Plan: Aggressive(),
+					MaxOps: maxOps, ProgBytes: 4 * maxOps}
+				res, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Injected) == 0 {
+					t.Fatalf("aggressive plan injected nothing: %+v", res)
+				}
+				t.Logf("ops=%d forks=%d injected=%v", res.Ops, res.Forks, res.Injected)
+			})
+		}
+	}
+}
+
+// TestDeterminism: the whole harness — program generation, fault
+// schedule, simulation — must replay identically from the seed.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Mode: core.CopyOnPointerAccess, Iso: kernel.IsolationFull,
+		Seed: 42, Plan: Aggressive(), MaxOps: 3000, ProgBytes: 12000}
+	r1, err1 := Run(cfg, nil)
+	r2, err2 := Run(cfg, nil)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed, different results:\n  %+v\n  %+v", r1, r2)
+	}
+	if fmt.Sprint(err1) != fmt.Sprint(err2) {
+		t.Fatalf("same seed, different errors:\n  %v\n  %v", err1, err2)
+	}
+}
+
+// TestSeedVariety: different seeds must exercise different schedules —
+// otherwise the fuzzer is a fixed regression test in disguise.
+func TestSeedVariety(t *testing.T) {
+	cfg := Config{Mode: core.CopyOnAccess, Iso: kernel.IsolationFault,
+		Seed: 7, Plan: Aggressive(), MaxOps: 2000, ProgBytes: 8000}
+	r1, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	r2, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1, r2) {
+		t.Fatalf("seeds 7 and 8 produced identical results: %+v", r1)
+	}
+}
+
+// mutationKernel boots a kernel, runs body inside a root μprocess, and
+// returns the invariant-audit error captured by body.
+func mutationKernel(t *testing.T, mode core.CopyMode, body func(k *kernel.Kernel, p *kernel.Proc) error) error {
+	t.Helper()
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(mode),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 14,
+	})
+	var audit error
+	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		audit = body(k, p)
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	k.Run()
+	return audit
+}
+
+// TestMutationSkipTagCopyCaught is the required mutation smoke test:
+// deliberately breaking the tag-plane copy during fork must be caught by
+// the invariant checker. CopyFull forces eager CopyFrame of every page —
+// including the GOT's 96 capabilities — so dropping tag words leaves the
+// tag plane inconsistent (stale ntags, untagged capability granules).
+func TestMutationSkipTagCopyCaught(t *testing.T) {
+	audit := mutationKernel(t, core.CopyFull, func(k *kernel.Kernel, p *kernel.Proc) error {
+		k.Mem.SetHooks(&tmem.Hooks{SkipTagCopy: true})
+		if _, err := k.Fork(p, func(cp *kernel.Proc) {}); err != nil {
+			t.Fatalf("fork: %v", err)
+		}
+		return invariant.Check(k)
+	})
+	if audit == nil {
+		t.Fatal("invariant checker missed a skipped tag-plane copy")
+	}
+	if !strings.Contains(audit.Error(), "tag") {
+		t.Fatalf("violation does not implicate the tag plane: %v", audit)
+	}
+}
+
+// TestMutationTagFlipCaught: a single flipped tag-plane bit — silent
+// capability forgery or destruction — must be caught, and un-flipping it
+// must restore a clean audit.
+func TestMutationTagFlipCaught(t *testing.T) {
+	audit := mutationKernel(t, core.CopyOnPointerAccess, func(k *kernel.Kernel, p *kernel.Proc) error {
+		if err := invariant.Check(k); err != nil {
+			t.Fatalf("clean kernel fails audit: %v", err)
+		}
+		var pfn tmem.PFN
+		k.Mem.ForEachAllocated(func(f tmem.PFN) { pfn = f })
+		k.Mem.InjectTagFlip(pfn, 5)
+		flipped := invariant.Check(k)
+		k.Mem.InjectTagFlip(pfn, 5) // undo
+		if err := invariant.Check(k); err != nil {
+			t.Fatalf("audit still dirty after un-flip: %v", err)
+		}
+		return flipped
+	})
+	if audit == nil {
+		t.Fatal("invariant checker missed a flipped tag bit")
+	}
+}
+
+// runMutated runs cfg with the tag-copy mutation armed underneath the
+// harness: every fork silently drops the tag plane.
+func runMutated(cfg Config) (Result, error) {
+	cfg.mutate = func(k *kernel.Kernel) {
+		k.Mem.SetHooks(&tmem.Hooks{SkipTagCopy: true})
+	}
+	return Run(cfg, nil)
+}
+
+// TestFailureCarriesRepro: when the harness does find a divergence, the
+// error must carry the one-line repro. Force one by arming the tag-copy
+// mutation underneath an otherwise-normal fuzz run.
+func TestFailureCarriesRepro(t *testing.T) {
+	cfg := Config{Mode: core.CopyFull, Iso: kernel.IsolationFull, Seed: 3,
+		MaxOps: 1500, ProgBytes: 6000, CheckEvery: 25}
+	errs := make([]error, 2)
+	for i := range errs {
+		_, errs[i] = runMutated(cfg)
+	}
+	if errs[0] == nil {
+		t.Fatal("mutated run passed; harness has no teeth")
+	}
+	if !strings.Contains(errs[0].Error(), "repro: "+cfg.Repro()) {
+		t.Fatalf("failure lacks repro line: %v", errs[0])
+	}
+	if errs[0].Error() != errs[1].Error() {
+		t.Fatalf("failure does not replay deterministically:\n  %v\n  %v", errs[0], errs[1])
+	}
+}

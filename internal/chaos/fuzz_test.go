@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"testing"
+
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+)
+
+// modeFor / isoFor derive a copy mode and isolation level from fuzz input
+// so the fuzzer explores the full matrix, not one fixed cell.
+func modeFor(x uint64) core.CopyMode        { return allModes[x%uint64(len(allModes))] }
+func isoFor(x uint64) kernel.IsolationLevel { return allIsos[x%uint64(len(allIsos))] }
+
+// FuzzSyscalls feeds arbitrary byte programs to the syscall-sequence
+// interpreter with no fault injection: every input must either run clean
+// or be rejected — any shadow-model divergence, invariant violation,
+// frame leak, or panic is a finding.
+func FuzzSyscalls(f *testing.F) {
+	f.Add(int64(1), []byte{6, 0, 64, 2, 0, 16, 0, 32, 0, 64, 3, 0, 16, 7, 15})
+	f.Add(int64(2), []byte("fork-and-scribble: \x06\x00\x40\x00\x11\x22\x33\x44\x07"))
+	f.Add(int64(3), []byte{8, 9, 0, 100, 10, 11, 4, 12, 5})
+	f.Fuzz(func(t *testing.T, seed int64, prog []byte) {
+		if len(prog) == 0 || len(prog) > 8192 {
+			t.Skip()
+		}
+		cfg := Config{
+			Mode:   modeFor(uint64(seed)),
+			Iso:    isoFor(uint64(seed) >> 8),
+			Seed:   seed,
+			MaxOps: 1200,
+		}
+		if _, err := Run(cfg, prog); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzFaultSchedule fuzzes the injection plan itself alongside the
+// program: arbitrary fault rates (including "every single opportunity")
+// must never corrupt kernel state — only produce tolerated errors.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(11), uint16(3), uint16(5), uint16(7), uint16(9), true, []byte{6, 0, 32, 0, 1, 2, 3, 7})
+	f.Add(int64(12), uint16(1), uint16(1), uint16(1), uint16(1), false, []byte{6, 6, 6, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, seed int64, alloc, sys, mp, spur uint16, poison bool, prog []byte) {
+		if len(prog) == 0 || len(prog) > 4096 {
+			t.Skip()
+		}
+		cfg := Config{
+			Mode: modeFor(uint64(seed)),
+			Iso:  isoFor(uint64(seed) >> 8),
+			Seed: seed,
+			Plan: Plan{
+				AllocFailEvery:     int(alloc % 512),
+				SyscallErrEvery:    int(sys % 512),
+				MapFailEvery:       int(mp % 512),
+				SpuriousFaultEvery: int(spur % 512),
+				PoisonFreed:        poison,
+			},
+			MaxOps: 800,
+		}
+		if _, err := Run(cfg, prog); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

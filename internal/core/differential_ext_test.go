@@ -1,0 +1,317 @@
+package core_test
+
+// Extended differential schedules: pipes, signals, Sbrk, and nested forks
+// of depth ≥ 3, each checked against a trivially correct reference model.
+// These ride alongside differential_test.go's byte-array schedules and
+// the chaos harness's fuzzed programs (internal/chaos): fixed, readable
+// scenarios for the syscall surface the fuzzer exercises randomly.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/model"
+)
+
+var extModes = []core.CopyMode{core.CopyOnPointerAccess, core.CopyOnAccess, core.CopyFull}
+
+func extKernel(mode core.CopyMode, heapPages int) (*kernel.Kernel, kernel.ProgramSpec) {
+	k := kernel.New(kernel.Config{
+		Machine:   model.UFork(2),
+		Engine:    core.New(mode),
+		Isolation: kernel.IsolationFull,
+		Frames:    1 << 15,
+	})
+	spec := kernel.HelloWorldSpec()
+	if heapPages > 0 {
+		spec.HeapPages = heapPages
+	}
+	return k, spec
+}
+
+// TestDifferentialNestedFork forks to depth 3 (root → child → grandchild →
+// great-grandchild), every level mutating its heap against a deep-copied
+// reference while ancestors keep mutating concurrently. Verifies fork
+// transparency composes: each level sees exactly its own fork-instant
+// snapshot plus its own writes, never an ancestor's or descendant's.
+func TestDifferentialNestedFork(t *testing.T) {
+	const heapPages = 32
+	const heapBytes = heapPages * kernel.PageSize
+	for _, mode := range extModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				k, spec := extKernel(mode, heapPages)
+
+				mutate := func(p *kernel.Proc, ref []byte) {
+					off := uint64(rng.Intn(heapBytes - 64))
+					blob := make([]byte, rng.Intn(64)+1)
+					rng.Read(blob)
+					copy(ref[off:], blob)
+					if err := p.Store(p.HeapCap, off, blob); err != nil {
+						t.Errorf("store: %v", err)
+					}
+				}
+				verify := func(p *kernel.Proc, ref []byte, depth int) {
+					got := make([]byte, heapBytes)
+					if err := p.Load(p.HeapCap, 0, got); err != nil {
+						t.Errorf("depth %d: load: %v", depth, err)
+						return
+					}
+					if !bytes.Equal(got, ref) {
+						i := 0
+						for got[i] == ref[i] {
+							i++
+						}
+						t.Errorf("seed %d depth %d: heap diverged at +%d: got %d want %d",
+							seed, depth, i, got[i], ref[i])
+					}
+				}
+
+				var level func(p *kernel.Proc, ref []byte, depth int)
+				level = func(p *kernel.Proc, ref []byte, depth int) {
+					for i := 0; i < 4; i++ {
+						mutate(p, ref)
+					}
+					if depth < 3 {
+						childRef := append([]byte(nil), ref...)
+						if _, err := k.Fork(p, func(c *kernel.Proc) {
+							level(c, childRef, depth+1)
+						}); err != nil {
+							t.Errorf("depth %d fork: %v", depth, err)
+							return
+						}
+						// Keep scribbling while the descendant chain runs:
+						// its snapshot must not see these.
+						mutate(p, ref)
+						mutate(p, ref)
+						if _, _, err := k.Wait(p); err != nil {
+							t.Errorf("depth %d wait: %v", depth, err)
+							return
+						}
+					}
+					verify(p, ref, depth)
+				}
+
+				if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+					level(p, make([]byte, heapBytes), 0)
+				}); err != nil {
+					t.Fatal(err)
+				}
+				k.Run()
+			}
+		})
+	}
+}
+
+// TestDifferentialPipes checks pipe data integrity in-process and across
+// fork: a child's writes arrive byte-exact at the parent, in order,
+// across all copy modes (the pipe buffer lives in the kernel, not the
+// forked image — fork must not duplicate or tear it).
+func TestDifferentialPipes(t *testing.T) {
+	for _, mode := range extModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			k, spec := extKernel(mode, 16)
+			if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+				// In-process roundtrip.
+				r, w, err := k.Pipe(p)
+				if err != nil {
+					t.Fatalf("pipe: %v", err)
+				}
+				blob := make([]byte, 4096)
+				rng.Read(blob)
+				if n, err := k.Write(p, w, blob); err != nil || n != len(blob) {
+					t.Fatalf("write: n=%d err=%v", n, err)
+				}
+				got := make([]byte, len(blob))
+				if n, err := k.Read(p, r, got); err != nil || n != len(got) {
+					t.Fatalf("read: n=%d err=%v", n, err)
+				}
+				if !bytes.Equal(got, blob) {
+					t.Fatal("in-process pipe roundtrip corrupted data")
+				}
+
+				// Across fork: three children, each writing a distinct drawn
+				// blob; the parent reads them back in wait order.
+				for i := 0; i < 3; i++ {
+					msg := make([]byte, 1024+rng.Intn(4096))
+					rng.Read(msg)
+					if _, err := k.Fork(p, func(c *kernel.Proc) {
+						if n, err := k.Write(c, w, msg); err != nil || n != len(msg) {
+							t.Errorf("child %d write: n=%d err=%v", i, n, err)
+						}
+					}); err != nil {
+						t.Fatalf("fork: %v", err)
+					}
+					if _, _, err := k.Wait(p); err != nil {
+						t.Fatalf("wait: %v", err)
+					}
+					got := make([]byte, len(msg))
+					if n, err := k.Read(p, r, got); err != nil || n != len(got) {
+						t.Fatalf("parent read after child %d: n=%d err=%v", i, n, err)
+					}
+					if !bytes.Equal(got, msg) {
+						t.Errorf("child %d's message corrupted across fork", i)
+					}
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			k.Run()
+		})
+	}
+}
+
+// TestDifferentialSbrk drives Sbrk with random deltas against the
+// reference rule (brk may move anywhere up to the heap segment's page
+// count) and checks the watermark is inherited by forked children but
+// not shared with them afterward.
+func TestDifferentialSbrk(t *testing.T) {
+	const heapPages = 24
+	for _, mode := range extModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			k, spec := extKernel(mode, heapPages)
+			if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+				brk := p.BrkPages
+				for i := 0; i < 200; i++ {
+					delta := rng.Intn(9) - 4
+					wantFail := brk+delta > heapPages
+					err := k.Sbrk(p, delta)
+					if wantFail != (err != nil) {
+						t.Fatalf("op %d: sbrk(%d) at brk=%d: err=%v, reference predicts failure=%v",
+							i, delta, brk, err, wantFail)
+					}
+					if err == nil {
+						brk += delta
+					}
+					if p.BrkPages != brk {
+						t.Fatalf("op %d: BrkPages=%d, reference=%d", i, p.BrkPages, brk)
+					}
+				}
+				// Exact-limit edge: growing to precisely the segment size
+				// succeeds, one page beyond fails.
+				if err := k.Sbrk(p, heapPages-brk); err != nil {
+					t.Fatalf("sbrk to exact limit: %v", err)
+				}
+				brk = heapPages
+				if err := k.Sbrk(p, 1); err == nil {
+					t.Fatal("sbrk past segment limit succeeded")
+				}
+				// Children inherit the watermark; their moves are private.
+				if _, err := k.Fork(p, func(c *kernel.Proc) {
+					if c.BrkPages != brk {
+						t.Errorf("child inherited BrkPages=%d, want %d", c.BrkPages, brk)
+					}
+					if err := k.Sbrk(c, -5); err != nil {
+						t.Errorf("child sbrk: %v", err)
+					}
+				}); err != nil {
+					t.Fatalf("fork: %v", err)
+				}
+				if _, _, err := k.Wait(p); err != nil {
+					t.Fatalf("wait: %v", err)
+				}
+				if p.BrkPages != brk {
+					t.Fatalf("child's sbrk leaked into parent: BrkPages=%d, want %d", p.BrkPages, brk)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			k.Run()
+		})
+	}
+}
+
+// TestDifferentialSignals checks handler-delivery counting against a
+// reference counter, that handlers do NOT survive fork (per-process
+// kernel state is rebuilt fresh for the child), and the POSIX default
+// actions: uncaught SIGUSR1 exits 128+10, uncaught SIGTERM 128+15,
+// SIGKILL 137.
+func TestDifferentialSignals(t *testing.T) {
+	for _, mode := range extModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			k, spec := extKernel(mode, 8)
+			if _, err := k.Spawn(spec, 0, func(p *kernel.Proc) {
+				got, sent := 0, 0
+				if err := k.Sigaction(p, kernel.SIGUSR1, func(*kernel.Proc, kernel.Signal) {
+					got++
+				}); err != nil {
+					t.Fatalf("sigaction: %v", err)
+				}
+				for i := 0; i < 10; i++ {
+					if err := k.SignalPID(p, p.PID, kernel.SIGUSR1); err != nil {
+						t.Fatalf("self-signal: %v", err)
+					}
+					sent++
+					if i%3 == 0 {
+						k.Getpid(p) // kernel entry: flush deliveries
+					}
+				}
+				k.Getpid(p)
+				if got != sent {
+					t.Fatalf("delivered %d of %d signals", got, sent)
+				}
+
+				// The child must not inherit the parent's handler: its
+				// uncaught SIGUSR1 takes the POSIX default and terminates.
+				for _, tc := range []struct {
+					sig    kernel.Signal
+					status int
+				}{
+					{kernel.SIGUSR1, 128 + 10},
+					{kernel.SIGTERM, 128 + 15},
+				} {
+					if _, err := k.Fork(p, func(c *kernel.Proc) {
+						if err := k.SignalPID(c, c.PID, tc.sig); err != nil {
+							t.Errorf("child self-signal: %v", err)
+						}
+						k.Getpid(c) // delivery point: default action unwinds here
+						t.Errorf("child survived uncaught signal %d", tc.sig)
+					}); err != nil {
+						t.Fatalf("fork: %v", err)
+					}
+					if _, status, err := k.Wait(p); err != nil || status != tc.status {
+						t.Fatalf("wait after signal %d: status=%d err=%v, want %d",
+							tc.sig, status, err, tc.status)
+					}
+				}
+
+				// SIGKILL is uncatchable and lands at the victim's next entry.
+				childPID, err := k.Fork(p, func(c *kernel.Proc) {
+					if err := k.Sigaction(c, kernel.SIGKILL, func(*kernel.Proc, kernel.Signal) {}); err == nil {
+						t.Error("SIGKILL handler registration succeeded")
+					}
+					for {
+						k.Yield(c)
+					}
+				})
+				if err != nil {
+					t.Fatalf("fork: %v", err)
+				}
+				if err := k.SignalPID(p, childPID, kernel.SIGKILL); err != nil {
+					t.Fatalf("kill: %v", err)
+				}
+				if _, status, err := k.Wait(p); err != nil || status != 137 {
+					t.Fatalf("wait after SIGKILL: status=%d err=%v, want 137", status, err)
+				}
+
+				// Parent's own handler still armed and counting afterwards.
+				if err := k.SignalPID(p, p.PID, kernel.SIGUSR1); err != nil {
+					t.Fatalf("self-signal: %v", err)
+				}
+				k.Getpid(p)
+				if got != sent+1 {
+					t.Fatalf("handler lost after forks: delivered %d, want %d", got, sent+1)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			k.Run()
+		})
+	}
+}

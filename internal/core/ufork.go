@@ -154,6 +154,9 @@ func (e *Engine) Fork(k *kernel.Kernel, parent, child *kernel.Proc) (kernel.Fork
 				return
 			}
 			if err := child.AS.Map(childVPN, slab.page(pfn), natural); err != nil {
+				// The frame was allocated but never mapped: free it here or
+				// nothing ever will (the abort path only walks the page table).
+				_ = k.Mem.FreeFrame(pfn)
 				copyErr = err
 				return
 			}

@@ -1,0 +1,200 @@
+package kernel_test
+
+// Table-driven error-path coverage: every scenario runs at every
+// isolation level, because error paths take different code routes when
+// capability confinement and TOCTTOU re-checks are on (a syscall that
+// fails must fail identically — and leave identical state — at all
+// three levels).
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ufork/internal/kernel"
+)
+
+var errIsos = []kernel.IsolationLevel{
+	kernel.IsolationNone, kernel.IsolationFault, kernel.IsolationFull,
+}
+
+// errorPathCase is one error scenario. body returns the error the kernel
+// produced; want is matched with errors.Is, or wantSub as a substring
+// when no sentinel exists.
+type errorPathCase struct {
+	name    string
+	want    error
+	wantSub string
+	body    func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error
+}
+
+var errorPathCases = []errorPathCase{
+	{
+		name: "read bad fd",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			_, err := k.Read(p, 98, make([]byte, 8))
+			return err
+		},
+	},
+	{
+		name: "write bad fd",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			_, err := k.Write(p, 99, []byte("x"))
+			return err
+		},
+	},
+	{
+		name: "negative fd",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			_, err := k.Read(p, -1, make([]byte, 8))
+			return err
+		},
+	},
+	{
+		name: "double close",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			r, w, err := k.Pipe(p)
+			if err != nil {
+				t.Fatalf("pipe: %v", err)
+			}
+			if err := k.Close(p, r); err != nil {
+				t.Fatalf("first close: %v", err)
+			}
+			if err := k.Close(p, w); err != nil {
+				t.Fatalf("close write end: %v", err)
+			}
+			return k.Close(p, r)
+		},
+	},
+	{
+		name: "use after close",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			r, w, err := k.Pipe(p)
+			if err != nil {
+				t.Fatalf("pipe: %v", err)
+			}
+			if err := k.Close(p, r); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := k.Close(p, w); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			_, err = k.Read(p, r, make([]byte, 8))
+			return err
+		},
+	},
+	{
+		name: "write to pipe with reader closed",
+		want: kernel.ErrPipeClosed,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			r, w, err := k.Pipe(p)
+			if err != nil {
+				t.Fatalf("pipe: %v", err)
+			}
+			if err := k.Close(p, r); err != nil {
+				t.Fatalf("close read end: %v", err)
+			}
+			_, err = k.Write(p, w, []byte("into the void"))
+			return err
+		},
+	},
+	{
+		name: "write to pipe read end",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			r, _, err := k.Pipe(p)
+			if err != nil {
+				t.Fatalf("pipe: %v", err)
+			}
+			_, err = k.Write(p, r, []byte("wrong end"))
+			return err
+		},
+	},
+	{
+		name: "read from pipe write end",
+		want: kernel.ErrBadFD,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			_, w, err := k.Pipe(p)
+			if err != nil {
+				t.Fatalf("pipe: %v", err)
+			}
+			_, err = k.Read(p, w, make([]byte, 8))
+			return err
+		},
+	},
+	{
+		name:    "sbrk past region limit",
+		wantSub: "sbrk",
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			limit := p.Layout.Pages[kernel.SegHeap]
+			err := k.Sbrk(p, limit-p.BrkPages+1)
+			if err == nil {
+				t.Fatal("sbrk one page past the heap segment succeeded")
+			}
+			// The failed grow must not move the watermark.
+			if err2 := k.Sbrk(p, limit-p.BrkPages); err2 != nil {
+				t.Fatalf("exact-limit sbrk after failed grow: %v", err2)
+			}
+			return err
+		},
+	},
+	{
+		name: "wait with no children",
+		want: kernel.ErrNoChildren,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			_, _, err := k.Wait(p)
+			return err
+		},
+	},
+	{
+		name: "wait after all children reaped",
+		want: kernel.ErrNoChildren,
+		body: func(t *testing.T, k *kernel.Kernel, p *kernel.Proc) error {
+			if _, err := k.Fork(p, func(c *kernel.Proc) {}); err != nil {
+				t.Fatalf("fork: %v", err)
+			}
+			if _, _, err := k.Wait(p); err != nil {
+				t.Fatalf("first wait: %v", err)
+			}
+			_, _, err := k.Wait(p)
+			return err
+		},
+	},
+}
+
+func TestErrorPaths(t *testing.T) {
+	for _, iso := range errIsos {
+		t.Run(iso.String(), func(t *testing.T) {
+			for _, tc := range errorPathCases {
+				t.Run(tc.name, func(t *testing.T) {
+					k := newKernel(1, iso)
+					if _, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+						err := tc.body(t, k, p)
+						if err == nil {
+							t.Fatalf("%s: no error", tc.name)
+						}
+						if tc.want != nil && !errors.Is(err, tc.want) {
+							t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
+						}
+						if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+							t.Fatalf("%s: got %v, want substring %q", tc.name, err, tc.wantSub)
+						}
+						// Whatever failed must not have wedged the process:
+						// normal syscalls still work afterwards.
+						if got := k.Getpid(p); got != p.PID {
+							t.Fatalf("%s: getpid after error returned %d", tc.name, got)
+						}
+					}); err != nil {
+						t.Fatal(err)
+					}
+					k.Run()
+				})
+			}
+		})
+	}
+}

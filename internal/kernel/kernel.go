@@ -69,6 +69,9 @@ var (
 	ErrNoProc     = errors.New("kernel: no such process")
 	ErrPipeClosed = errors.New("kernel: pipe closed")
 	ErrNotSocket  = errors.New("kernel: not a socket")
+	// ErrInterrupted is the EINTR analogue chaos testing injects at syscall
+	// entry: the call performed no work and may be retried.
+	ErrInterrupted = errors.New("kernel: interrupted system call")
 )
 
 // PID identifies a μprocess.
@@ -271,6 +274,27 @@ type Kernel struct {
 	// Never nil; defaults to obs.Default, and all span/histogram traffic
 	// through it is gated on the global obs.On() switch.
 	Obs *obs.Obs
+
+	// Chaos, when non-nil, is consulted at the entry of fallible syscalls
+	// and may fail them with an injected error (ENOMEM/EINTR storms). Set
+	// by the chaos harness (internal/chaos); nil in production.
+	Chaos SyscallFailer
+}
+
+// SyscallFailer is the syscall-level fault-injection hook: it returns a
+// non-nil error to fail the named syscall before it performs any work.
+type SyscallFailer interface {
+	SyscallError(name string) error
+}
+
+// chaosErr consults the chaos hook for the named syscall. The non-nil
+// error, if any, must be returned to the caller before the syscall mutates
+// kernel state.
+func (k *Kernel) chaosErr(name string) error {
+	if k.Chaos == nil {
+		return nil
+	}
+	return k.Chaos.SyscallError(name)
 }
 
 // Config bundles kernel construction parameters.

@@ -1,0 +1,26 @@
+package kernel_test
+
+// Frame-leak regression guard: tmem keeps a process-wide live-frame
+// counter (allocations minus frees, across every Memory instance the
+// package's tests create). Every kernel test lets its simulation run to
+// completion and every μprocess exit, so by the end of the package run
+// the counter must balance to exactly zero — any residue is a leaked
+// frame on some path (an aborted fork, an error-path unwind, a terminate
+// that skipped a page).
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ufork/internal/tmem"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if n := tmem.LiveFrames(); code == 0 && n != 0 {
+		fmt.Fprintf(os.Stderr, "FRAME LEAK: %d frames still allocated after all kernel tests\n", n)
+		code = 1
+	}
+	os.Exit(code)
+}

@@ -135,7 +135,9 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		err := p.k.Engine.HandleFault(p.k, p, fault, acc)
 		sp.End(uint64(p.Task.Now()), obs.A("va", fault.VA))
 		if err != nil {
-			return tmem.NoFrame, 0, fmt.Errorf("%w: %v", ErrSegfault, err)
+			// Double-wrap so errors.Is sees both the segfault and the
+			// handler's cause (e.g. an injected tmem.ErrOutOfMemory).
+			return tmem.NoFrame, 0, fmt.Errorf("%w: %w", ErrSegfault, err)
 		}
 	}
 	return tmem.NoFrame, 0, fmt.Errorf("%w: fault loop at %#x", ErrSegfault, va)

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"ufork/internal/vm"
 )
@@ -70,6 +71,25 @@ func (k *Kernel) ShmMap(p *Proc, obj *ShmObject, off uint64) (mapped uint64, err
 		p.Pending.Remove(vpn)
 	}
 	return base, nil
+}
+
+// Pages returns the object's backing page descriptors (invariant checking:
+// unmapped shm pages hold allocated frames with zero references, and the
+// checker must treat the registry as their owner rather than report leaks).
+func (o *ShmObject) Pages() []*vm.Page { return o.pages }
+
+// ShmObjects returns the live named shared-memory objects in name order.
+func (k *Kernel) ShmObjects() []*ShmObject {
+	names := make([]string, 0, len(k.shm.objects))
+	for name := range k.shm.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*ShmObject, len(names))
+	for i, name := range names {
+		out[i] = k.shm.objects[name]
+	}
+	return out
 }
 
 // ShmUnlink removes the name; frames die with the last mapping.

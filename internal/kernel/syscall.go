@@ -112,6 +112,9 @@ func (k *Kernel) Exit(p *Proc, status int) {
 func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	k.enter(p, "fork", 0)
 	defer k.leave(p)
+	if err := k.chaosErr("fork"); err != nil {
+		return 0, err
+	}
 	k.Stats.Forks.Inc()
 	p.Forked++
 	forkStart := p.Task.Now()
@@ -127,6 +130,7 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	}
 	stats, err := k.Engine.Fork(k, p, child)
 	if err != nil {
+		k.abortFork(p, child)
 		return 0, err
 	}
 	// Kernel-side duplication common to every engine: descriptor table and
@@ -163,11 +167,35 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	return child.PID, nil
 }
 
+// abortFork unwinds a half-constructed child after the fork engine failed
+// partway (e.g. frame exhaustion mid-copy): every page the engine managed
+// to map is unmapped — dropping references so shared frames return to the
+// parent and fresh copies are freed — and an unused single-AS region goes
+// back to the free list. A failed fork must leak neither frames nor
+// address space; the invariant checker audits exactly this under injected
+// allocation exhaustion.
+func (k *Kernel) abortFork(p, child *Proc) {
+	if child.AS != nil && child.Region.Size > 0 {
+		if err := child.AS.UnmapRange(child.Region.Base, child.Region.Size); err != nil {
+			panic("kernel: fork abort unmap: " + err.Error())
+		}
+	}
+	if k.Machine.SingleAddressSpace && child.Region.Size > 0 && child.Region.Base != p.Region.Base {
+		k.Regions.release(child.Region)
+	}
+	// The child never existed: no capability can reference its region, so
+	// the parent's fork count (which gates region reuse at exit) rolls back.
+	p.Forked--
+}
+
 // Wait blocks until one child has exited, reaps it, and returns its PID
 // and exit status.
 func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 	k.enter(p, "wait", 0)
 	defer k.leave(p)
+	if err := k.chaosErr("wait"); err != nil {
+		return 0, 0, err
+	}
 	for {
 		if len(p.children) == 0 {
 			return 0, 0, ErrNoChildren
@@ -187,6 +215,9 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
 	k.enter(p, "open", len(name))
 	defer k.leave(p)
+	if err := k.chaosErr("open"); err != nil {
+		return -1, err
+	}
 	ino, ok := k.vfs.Lookup(name)
 	if !ok {
 		if !create {
@@ -211,6 +242,9 @@ func (k *Kernel) Close(p *Proc, fd int) error {
 func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
 	k.enter(p, "write", len(buf))
 	defer k.leave(p)
+	if err := k.chaosErr("write"); err != nil {
+		return 0, err
+	}
 	of, err := p.FDs.Get(fd)
 	if err != nil {
 		return 0, err
@@ -227,6 +261,9 @@ func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
 func (k *Kernel) Read(p *Proc, fd int, buf []byte) (int, error) {
 	k.enter(p, "read", len(buf))
 	defer k.leave(p)
+	if err := k.chaosErr("read"); err != nil {
+		return 0, err
+	}
 	of, err := p.FDs.Get(fd)
 	if err != nil {
 		return 0, err
@@ -281,6 +318,9 @@ func (k *Kernel) Fsync(p *Proc, fd int) error {
 func (k *Kernel) Pipe(p *Proc) (int, int, error) {
 	k.enter(p, "pipe", 0)
 	defer k.leave(p)
+	if err := k.chaosErr("pipe"); err != nil {
+		return -1, -1, err
+	}
 	r, w := NewPipe()
 	rfd := p.FDs.Install(&OpenFile{File: r})
 	wfd := p.FDs.Install(&OpenFile{File: w})
@@ -323,6 +363,9 @@ func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
 func (k *Kernel) Sbrk(p *Proc, pages int) error {
 	k.enter(p, "sbrk", 0)
 	defer k.leave(p)
+	if err := k.chaosErr("sbrk"); err != nil {
+		return err
+	}
 	if p.BrkPages+pages > p.Layout.Pages[SegHeap] {
 		return fmt.Errorf("kernel: sbrk beyond static heap (%d + %d > %d)",
 			p.BrkPages, pages, p.Layout.Pages[SegHeap])

@@ -10,6 +10,23 @@ import (
 	"ufork/internal/minipy"
 )
 
+// FuzzCompile is the native fuzz entry for the compiler front end
+// (lexer → parser → code generator): arbitrary source may be rejected
+// with an error but must never panic. Seed corpus under
+// testdata/fuzz/FuzzCompile; CI runs a short -fuzz smoke on it.
+func FuzzCompile(f *testing.F) {
+	f.Add("def f():\n    return 1 + 2 * 3\n")
+	f.Add("for i in range(10):\n    if i % 2 == 0:\n        continue\n    break\n")
+	f.Add("x = {1: \"a\", 2: \"b\"}\ny = x.get(1)\n")
+	f.Add("def broken(:\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		_, _ = minipy.Compile(src)
+	})
+}
+
 // TestCompileNeverPanics throws random token soup at the compiler: it may
 // (and usually must) return an error, but it must never panic.
 func TestCompileNeverPanics(t *testing.T) {

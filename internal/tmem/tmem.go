@@ -118,6 +118,9 @@ type Memory struct {
 	// totalOps counts byte-level read/write/copy volume. Atomic: frame
 	// copies fan out across host goroutines on the fork hot path.
 	totalOps atomic.Uint64
+	// hooks holds the optional chaos-harness interception points; nil in
+	// production so the hot paths pay a single pointer compare.
+	hooks *Hooks
 }
 
 // New creates a memory bank with the given number of physical frames.
@@ -151,6 +154,9 @@ func (m *Memory) AllocFrame() (PFN, error) { return m.alloc(true) }
 func (m *Memory) AllocFrameForCopy() (PFN, error) { return m.alloc(false) }
 
 func (m *Memory) alloc(zero bool) (PFN, error) {
+	if m.hooks != nil && m.hooks.FailAlloc != nil && m.hooks.FailAlloc() {
+		return NoFrame, fmt.Errorf("%w (injected)", ErrOutOfMemory)
+	}
 	if len(m.freeList) == 0 {
 		return NoFrame, ErrOutOfMemory
 	}
@@ -174,6 +180,7 @@ func (m *Memory) alloc(zero bool) (PFN, error) {
 	if m.allocated > m.peak {
 		m.peak = m.allocated
 	}
+	liveFrames.Add(1)
 	return pfn, nil
 }
 
@@ -188,10 +195,14 @@ func (m *Memory) FreeFrame(pfn PFN) error {
 	if f == nil {
 		return fmt.Errorf("%w: pfn %d", ErrFreeFree, pfn)
 	}
+	if m.hooks != nil && m.hooks.PoisonFreed {
+		poisonFrame(f)
+	}
 	m.frames[pfn] = nil
 	m.pool = append(m.pool, f)
 	m.freeList = append(m.freeList, pfn)
 	m.allocated--
+	liveFrames.Add(-1)
 	return nil
 }
 
@@ -401,6 +412,9 @@ func (m *Memory) CopyFrame(dst, src PFN) error {
 	}
 	// A stale fd.caps from a pooled frame is likewise unobservable when fs
 	// carried no tags: fd's tag plane is now all-clear.
+	if m.hooks != nil && m.hooks.SkipTagCopy {
+		fd.tags = [TagWords]uint64{}
+	}
 	m.totalOps.Add(PageSize + TagPlaneBytes)
 	return nil
 }

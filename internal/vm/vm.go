@@ -180,6 +180,9 @@ type AddressSpace struct {
 
 	// Stats counts fault activity for experiment accounting.
 	Stats Stats
+
+	// hooks holds the optional chaos interception points; nil in production.
+	hooks *Hooks
 }
 
 // numFaultKinds sizes the per-kind fault counter array.
@@ -284,6 +287,9 @@ func (as *AddressSpace) dir(key VPN, create bool) *pageDir {
 // Map installs a PTE for vpn referencing page with protection prot,
 // incrementing the page's reference count.
 func (as *AddressSpace) Map(vpn VPN, page *Page, prot Prot) error {
+	if as.hooks != nil && as.hooks.FailMap != nil && as.hooks.FailMap(vpn) {
+		return fmt.Errorf("%w: vpn %#x", ErrInjected, vpn)
+	}
 	d := as.dir(vpn>>dirBits, true)
 	pte := &d.ptes[vpn&dirMask]
 	if pte.Page != nil {
@@ -392,6 +398,15 @@ func (as *AddressSpace) Translate(va uint64, acc Access) (tmem.PFN, uint64, *Fau
 		if pte.Prot&ProtExec == 0 {
 			return as.fault(FaultNoExec, va)
 		}
+	}
+	// Spurious-fault injection fires only on the shape a last-reference
+	// adopt resolves without semantic effect: a write to a writable,
+	// privately-held page.
+	if as.hooks != nil && as.hooks.SpuriousFault != nil &&
+		(acc == AccWrite || acc == AccCapWrite) &&
+		pte.Prot&ProtWrite != 0 && pte.Page.Refs == 1 &&
+		as.hooks.SpuriousFault(VPNOf(va)) {
+		return as.fault(FaultWriteProtect, va)
 	}
 	return pte.Page.PFN, PageOff(va), nil
 }
