@@ -1,0 +1,40 @@
+// Command promlint validates Prometheus text exposition format (0.0.4)
+// without any external promtool dependency. CI pipes a scraped /metrics
+// payload through it; exit status 0 means the exposition is valid.
+//
+// Usage:
+//
+//	promlint [file]       # default: stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ufork/internal/telemetry"
+)
+
+func main() {
+	flag.Parse()
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() >= 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, name = f, flag.Arg(0)
+	}
+	errs := telemetry.Lint(r)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: ok\n", name)
+}

@@ -20,16 +20,23 @@
 // JSON of every kernel the run boots (open in chrome://tracing or
 // Perfetto). -metrics enables it too and writes a JSON snapshot of the
 // aggregated counters and latency histograms next to the rendered tables.
+//
+// -serve starts the live telemetry plane (Prometheus /metrics, JSON
+// /procs of the currently booted kernel, /flight dumps, pprof) and keeps
+// serving after the experiments finish so the final state can be scraped;
+// interrupt to exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"ufork/internal/bench"
 	"ufork/internal/obs"
 	"ufork/internal/sim"
+	"ufork/internal/telemetry"
 )
 
 func main() {
@@ -39,11 +46,20 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	parallel := flag.Int("parallel", 0, "host worker-pool width for eager fork copies (0 = one per CPU, 1 = serial); virtual-time results are identical at any setting")
 	seed := flag.Int64("seed", 1, "base seed for -exp stress; a failure's printed repro line names the exact seed to replay")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, pprof) on this address; keeps serving after the run until interrupted")
 	flag.Parse()
 
 	bench.Parallelism = *parallel
 	if *tracePath != "" || *metricsPath != "" {
 		obs.Enable()
+	}
+	var tsrv *telemetry.Server
+	if *serveAddr != "" {
+		var err error
+		if tsrv, err = telemetry.Start(*serveAddr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s/\n", tsrv.Addr)
 	}
 
 	sizes := bench.RedisSizesQuick
@@ -139,6 +155,10 @@ func main() {
 	}
 	if *metricsPath != "" {
 		die(obs.Default.WriteMetricsFile(*metricsPath))
+	}
+	if tsrv != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: run complete; still serving on http://%s/ (interrupt to exit)\n", tsrv.Addr)
+		select {}
 	}
 }
 

@@ -17,6 +17,10 @@
 // phases, faults — open in chrome://tracing or Perfetto); -metrics writes
 // a JSON snapshot of the kernel's counters and latency histograms. Either
 // flag enables the observability layer.
+//
+// -serve starts the live telemetry plane (Prometheus /metrics, JSON
+// /procs, /flight dumps, pprof) and keeps serving after the run finishes
+// so the final state can be scraped.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"ufork/internal/kernel"
 	"ufork/internal/minipy"
 	"ufork/internal/obs"
+	"ufork/internal/telemetry"
 )
 
 func main() {
@@ -38,10 +43,19 @@ func main() {
 	stats := flag.Bool("stats", false, "print kernel statistics after the run")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, pprof) on this address; keeps serving after the run until interrupted")
 	flag.Parse()
 
 	if *tracePath != "" || *metricsPath != "" {
 		obs.Enable()
+	}
+	var tsrv *telemetry.Server
+	if *serveAddr != "" {
+		var err error
+		if tsrv, err = telemetry.Start(*serveAddr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s/\n", tsrv.Addr)
 	}
 
 	var src []byte
@@ -137,5 +151,9 @@ func main() {
 		if err := obs.Default.WriteMetricsFile(*metricsPath); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if tsrv != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: run complete; still serving on http://%s/ (interrupt to exit)\n", tsrv.Addr)
+		select {}
 	}
 }

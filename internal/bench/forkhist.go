@@ -146,6 +146,7 @@ func RenderForkHist(rows []ForkHistRow) string {
 			Us(sim.Time(r.Hist.P50)),
 			Us(sim.Time(r.Hist.P90)),
 			Us(sim.Time(r.Hist.P99)),
+			Us(sim.Time(r.Hist.P999)),
 			Us(sim.Time(r.Hist.Max)),
 		})
 		phase = append(phase, []string{
@@ -154,7 +155,7 @@ func RenderForkHist(rows []ForkHistRow) string {
 		})
 	}
 	return "Fork latency distribution per copy mode (hello-world image)\n" +
-		Table([]string{"system", "forks", "p50", "p90", "p99", "max"}, dist) +
+		Table([]string{"system", "forks", "p50", "p90", "p99", "p99.9", "max"}, dist) +
 		"\nMean fork phase breakdown (reserve / pte-copy / eager-copy / reloc-scan / reg-reloc / fd+fixed)\n" +
 		Table([]string{"system", "reserve", "pte-copy", "eager-copy", "reloc-scan", "reg-reloc", "fd+fixed"}, phase)
 }

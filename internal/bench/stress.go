@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"ufork/internal/chaos"
 	"ufork/internal/core"
@@ -59,9 +60,11 @@ func StressFailures(rows []StressRow) error {
 	return nil
 }
 
-// RenderStress renders the soak summary table.
+// RenderStress renders the soak summary table, including the per-cell
+// peak μprocess frame footprint taken from the kernel's ProcStat
+// accounting.
 func RenderStress(rows []StressRow) string {
-	header := []string{"mode", "isolation", "seed", "plan", "ops", "forks", "audits", "injected", "status"}
+	header := []string{"mode", "isolation", "seed", "plan", "ops", "forks", "audits", "injected", "peak-frames", "status"}
 	var out [][]string
 	totalOps, totalInj, failed := 0, 0, 0
 	for _, r := range rows {
@@ -77,21 +80,79 @@ func RenderStress(rows []StressRow) string {
 			status = "FAIL"
 			failed++
 		}
+		var peak int64
+		for _, ps := range r.Res.ProcStats {
+			if ps.FramesPeak > peak {
+				peak = ps.FramesPeak
+			}
+		}
 		totalOps += r.Res.Ops
 		totalInj += inj
 		out = append(out, []string{
 			r.Mode.String(), r.Iso.String(), fmt.Sprint(r.Seed), plan,
 			fmt.Sprint(r.Res.Ops), fmt.Sprint(r.Res.Forks), fmt.Sprint(r.Res.Checks),
-			fmt.Sprint(inj), status,
+			fmt.Sprint(inj), fmt.Sprint(peak), status,
 		})
 	}
 	s := "Stress soak — seeded chaos runs (differential fuzzing + fault injection + invariant audits)\n" +
 		Table(header, out) +
-		fmt.Sprintf("total: %d cells, %d ops, %d injected faults, %d failures\n", len(rows), totalOps, totalInj, failed)
+		fmt.Sprintf("total: %d cells, %d ops, %d injected faults, %d failures\n", len(rows), totalOps, totalInj, failed) +
+		"\n" + renderStressProcs(rows)
 	for _, r := range rows {
 		if r.Err != nil {
 			s += fmt.Sprintf("FAIL: %v\n", r.Err)
 		}
 	}
 	return s
+}
+
+// stressProcCell pairs a μprocess accounting snapshot with the soak cell
+// it came from, so the breakdown table can name its origin.
+type stressProcCell struct {
+	row  StressRow
+	stat kernel.ProcStat
+}
+
+// renderStressProcs renders the frame-ownership breakdown: the soak's
+// hungriest μprocesses by peak frames owned, with their fault-outcome
+// mix. This is the ProcStat plane exercised at scale — a leak in frame
+// attribution shows up here as owned≠0 for exited procs or peaks far
+// beyond the working-set bound.
+func renderStressProcs(rows []StressRow) string {
+	var cells []stressProcCell
+	for _, r := range rows {
+		for _, ps := range r.Res.ProcStats {
+			cells = append(cells, stressProcCell{r, ps})
+		}
+	}
+	if len(cells) == 0 {
+		return ""
+	}
+	// Deterministic order: peak frames desc, then cell identity, then pid.
+	sort.SliceStable(cells, func(i, j int) bool {
+		return cells[i].stat.FramesPeak > cells[j].stat.FramesPeak
+	})
+	const top = 10
+	shown := cells
+	if len(shown) > top {
+		shown = shown[:top]
+	}
+	var out [][]string
+	for _, c := range shown {
+		plan := "clean"
+		if !c.row.Clean {
+			plan = "aggressive"
+		}
+		st := c.stat
+		out = append(out, []string{
+			fmt.Sprintf("%s/%s/%s", c.row.Mode, c.row.Iso, plan),
+			fmt.Sprint(st.PID), st.Name,
+			fmt.Sprint(st.SyscallsTotal), fmt.Sprint(st.Forks),
+			fmt.Sprintf("%d/%d/%d/%d", st.FaultCoW, st.FaultCoA, st.FaultCoPA, st.FaultMapped),
+			fmt.Sprint(st.FramesOwned), fmt.Sprint(st.FramesPeak),
+			fmt.Sprint(st.ForkBytesCopied),
+		})
+	}
+	return fmt.Sprintf("Per-μprocess frame ownership — top %d of %d procs by peak frames\n", len(shown), len(cells)) +
+		Table([]string{"cell", "pid", "proc", "syscalls", "forks", "cow/coa/copa/map", "owned", "peak", "fork-bytes"}, out)
 }

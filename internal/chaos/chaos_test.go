@@ -196,3 +196,47 @@ func TestFailureCarriesRepro(t *testing.T) {
 		t.Fatalf("failure does not replay deterministically:\n  %v\n  %v", errs[0], errs[1])
 	}
 }
+
+// TestFailureCarriesFlightDump: a harness failure must embed the flight
+// recorder's tail — the last events before the divergence — below the
+// repro line, in strict emission order. Combined with the byte-identical
+// replay check above, this makes the dump itself a deterministic function
+// of the printed seed.
+func TestFailureCarriesFlightDump(t *testing.T) {
+	cfg := Config{Mode: core.CopyFull, Iso: kernel.IsolationFull, Seed: 3,
+		MaxOps: 1500, ProgBytes: 6000, CheckEvery: 25}
+	res, err := runMutated(cfg)
+	if err == nil {
+		t.Fatal("mutated run passed; harness has no teeth")
+	}
+	msg := err.Error()
+	reproAt := strings.Index(msg, "repro: "+cfg.Repro())
+	dumpAt := strings.Index(msg, "flight recorder: last ")
+	if dumpAt < 0 {
+		t.Fatalf("failure lacks flight dump:\n%s", msg)
+	}
+	if reproAt < 0 || dumpAt < reproAt {
+		t.Fatalf("flight dump must follow the repro line:\n%s", msg)
+	}
+	if res.Flight == nil {
+		t.Fatal("Result.Flight not populated on failure")
+	}
+	evs := res.Flight.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("flight recorder captured no events before the failure")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("flight events out of order at %d: seq %d then %d",
+				i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	// Every formatted tail line must actually appear in the error text: the
+	// dump is the recorder's tail, not a re-rendering from other state.
+	tail := res.Flight.Tail(5)
+	for _, e := range tail {
+		if !strings.Contains(msg, e.Format()) {
+			t.Fatalf("dump missing tail event %q:\n%s", e.Format(), msg)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ufork/internal/core"
 	"ufork/internal/kernel"
 	"ufork/internal/model"
+	"ufork/internal/obs/flight"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
 )
@@ -53,6 +54,13 @@ type Result struct {
 	MaxLive  int // peak simultaneous μprocesses
 	Checks   int // invariant audits that ran (all passed if error is nil)
 	Injected map[string]int
+	// ProcStats is the per-μprocess accounting of every process the run
+	// created, captured at each process's end of life (PID order).
+	ProcStats []kernel.ProcStat
+	// Flight is the run's private flight recorder. Every failure error
+	// already embeds its tail; tests and the stress soak can inspect the
+	// full event history.
+	Flight *flight.Recorder
 }
 
 // Opcodes of the syscall-sequence interpreter. Programs are raw bytes —
@@ -112,23 +120,37 @@ func Run(cfg Config, prog []byte) (Result, error) {
 		}
 	}
 
+	// Every run records into a fresh private flight recorder (enabled from
+	// the first event, per-run sequence counter) so the dump a failure
+	// prints is a pure function of the repro line.
+	fr := flight.New(flight.DefaultShards, flight.DefaultPerShard)
+	fr.Enable()
+
 	eng := core.New(cfg.Mode)
 	k := kernel.New(kernel.Config{
 		Machine:   model.UFork(2),
 		Engine:    eng,
 		Isolation: cfg.Iso,
 		Frames:    cfg.Frames,
+		Flight:    fr,
 	})
 	h := &harness{cfg: cfg, k: k, opsLeft: cfg.MaxOps, live: 1, maxLive: 1}
 	in := NewInjector(cfg.Seed, cfg.Plan)
 	h.in = in
+
+	// fail appends the flight-recorder tail below the formatted failure
+	// (which always ends with the one-line repro), so every failure ships
+	// with the kernel event history that led up to it.
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%s\n%s", fmt.Sprintf(format, args...), fr.TextDump(flight.DumpTail))
+	}
 
 	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
 		ps := &procState{h: h, p: p, prog: prog, sh: newShadow(p)}
 		ps.run()
 	})
 	if err != nil {
-		return Result{}, fmt.Errorf("chaos: root spawn: %v [repro: %s]", err, cfg.Repro())
+		return Result{}, fail("chaos: root spawn: %v [repro: %s]", err, cfg.Repro())
 	}
 	// Arm after the root image is loaded: the initial load always
 	// succeeds, everything after runs under fire.
@@ -140,28 +162,31 @@ func Run(cfg Config, prog []byte) (Result, error) {
 	runErr := runGuarded(k)
 
 	res := Result{
-		Ops:      cfg.MaxOps - h.opsLeft,
-		Forks:    h.forks,
-		MaxLive:  h.maxLive,
-		Checks:   h.checks,
-		Injected: in.Counts(),
+		Ops:       cfg.MaxOps - h.opsLeft,
+		Forks:     h.forks,
+		MaxLive:   h.maxLive,
+		Checks:    h.checks,
+		Injected:  in.Counts(),
+		ProcStats: h.procStats,
+		Flight:    fr,
 	}
+	sort.Slice(res.ProcStats, func(i, j int) bool { return res.ProcStats[i].PID < res.ProcStats[j].PID })
 	if runErr != nil {
-		return res, fmt.Errorf("chaos: %v [repro: %s]", runErr, cfg.Repro())
+		return res, fail("chaos: %v [repro: %s]", runErr, cfg.Repro())
 	}
 	// Final audits: the invariant sweep over the quiesced kernel, and
 	// whole-system frame reclamation — every μprocess has terminated, so
 	// every frame must be back on the free list.
 	h.checks++
 	if err := invariant.Check(k); err != nil {
-		return res, fmt.Errorf("chaos: post-run %v [repro: %s]", err, cfg.Repro())
+		return res, fail("chaos: post-run %v [repro: %s]", err, cfg.Repro())
 	}
 	if n := k.Mem.Allocated(); n != 0 {
-		return res, fmt.Errorf("chaos: post-run frame leak: %d frames still allocated [repro: %s]", n, cfg.Repro())
+		return res, fail("chaos: post-run frame leak: %d frames still allocated [repro: %s]", n, cfg.Repro())
 	}
 	if len(h.failures) > 0 {
 		sort.Strings(h.failures)
-		return res, fmt.Errorf("chaos: %d divergence(s):\n  %s\n[repro: %s]",
+		return res, fail("chaos: %d divergence(s):\n  %s\n[repro: %s]",
 			len(h.failures), h.failures[0], cfg.Repro())
 	}
 	return res, nil
@@ -182,16 +207,17 @@ func runGuarded(k *kernel.Kernel) (err error) {
 
 // harness is the per-run global state shared by all μprocesses.
 type harness struct {
-	cfg      Config
-	k        *kernel.Kernel
-	in       *Injector
-	opsLeft  int
-	live     int
-	maxLive  int
-	forks    int
-	checks   int
-	pipes    []*pipeState
-	failures []string
+	cfg       Config
+	k         *kernel.Kernel
+	in        *Injector
+	opsLeft   int
+	live      int
+	maxLive   int
+	forks     int
+	checks    int
+	pipes     []*pipeState
+	failures  []string
+	procStats []kernel.ProcStat
 }
 
 func (h *harness) failf(format string, args ...any) {
@@ -345,6 +371,7 @@ func (ps *procState) run() {
 		}
 	}
 	ps.finish()
+	h.procStats = append(h.procStats, ps.p.Stat())
 	h.live--
 }
 

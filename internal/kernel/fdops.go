@@ -15,7 +15,7 @@ const (
 // Dup duplicates a descriptor onto the lowest free slot, sharing the open
 // file description (offset included).
 func (k *Kernel) Dup(p *Proc, fd int) (int, error) {
-	k.enter(p, "dup", 0)
+	k.enter(p, SysDup, 0)
 	defer k.leave(p)
 	of, err := p.FDs.Get(fd)
 	if err != nil {
@@ -27,7 +27,7 @@ func (k *Kernel) Dup(p *Proc, fd int) (int, error) {
 // Dup2 duplicates oldfd onto newfd, closing whatever newfd held. Used by
 // daemonizing servers to re-point stdio (§2.1 pattern U6).
 func (k *Kernel) Dup2(p *Proc, oldfd, newfd int) (int, error) {
-	k.enter(p, "dup2", 0)
+	k.enter(p, SysDup2, 0)
 	defer k.leave(p)
 	of, err := p.FDs.Get(oldfd)
 	if err != nil {
@@ -61,7 +61,7 @@ func (t *FDTable) installAt(of *OpenFile, fd int) {
 
 // Lseek repositions a regular file's offset.
 func (k *Kernel) Lseek(p *Proc, fd int, offset int64, whence int) (uint64, error) {
-	k.enter(p, "lseek", 0)
+	k.enter(p, SysLseek, 0)
 	defer k.leave(p)
 	of, err := p.FDs.Get(fd)
 	if err != nil {
@@ -93,14 +93,14 @@ func (k *Kernel) Lseek(p *Proc, fd int, offset int64, whence int) (uint64, error
 // Unlink removes a file from the ram disk. Open descriptions keep their
 // inode alive (POSIX unlink semantics) since they hold it directly.
 func (k *Kernel) Unlink(p *Proc, name string) error {
-	k.enter(p, "unlink", len(name))
+	k.enter(p, SysUnlink, len(name))
 	defer k.leave(p)
 	return k.vfs.Remove(name)
 }
 
 // Stat reports a file's size.
 func (k *Kernel) Stat(p *Proc, name string) (size uint64, err error) {
-	k.enter(p, "stat", len(name))
+	k.enter(p, SysStat, len(name))
 	defer k.leave(p)
 	ino, ok := k.vfs.Lookup(name)
 	if !ok {

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"ufork/internal/cap"
 	"ufork/internal/model"
 	"ufork/internal/obs"
+	"ufork/internal/obs/flight"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -263,10 +265,23 @@ type Kernel struct {
 	// (§4.4, principle 1). There is no other way into the kernel.
 	sentry cap.Capability
 
-	vfs   *VFS
-	shm   shmRegistry
-	procs map[PID]*Proc
-	next  PID
+	vfs *VFS
+	shm shmRegistry
+	// procs is the live process table. procMu guards it because the
+	// telemetry server snapshots per-process accounting from an HTTP
+	// goroutine while the simulation mutates the table; the simulation
+	// itself is single-threaded per kernel.
+	procMu sync.RWMutex
+	procs  map[PID]*Proc
+	// dead holds the final accounting snapshots of the most recently
+	// reaped processes (bounded ring), so /procs and the per-proc
+	// /metrics families still show a run's processes after they exit.
+	dead []ProcStat
+	next PID
+	// curPID is the process on whose behalf the kernel is currently
+	// working, for attributing frame alloc/free flight events. Written
+	// only from the simulation goroutine (syscall entry, fault handling).
+	curPID PID
 
 	Stats Stats
 
@@ -274,6 +289,11 @@ type Kernel struct {
 	// Never nil; defaults to obs.Default, and all span/histogram traffic
 	// through it is gated on the global obs.On() switch.
 	Obs *obs.Obs
+
+	// Flight is the flight recorder kernel events stream into. Never nil;
+	// defaults to flight.Default (disabled until armed), so every emit
+	// point pays one atomic load when the recorder is off.
+	Flight *flight.Recorder
 
 	// Chaos, when non-nil, is consulted at the entry of fallible syscalls
 	// and may fail them with an injected error (ENOMEM/EINTR storms). Set
@@ -311,7 +331,18 @@ type Config struct {
 	// Obs overrides the observability handle (default: obs.Default, the
 	// process-wide registry/tracer the bench harness aggregates into).
 	Obs *obs.Obs
+	// Flight overrides the flight recorder (default: flight.Default). The
+	// chaos harness passes a private enabled recorder per run so dumps are
+	// deterministic per seed.
+	Flight *flight.Recorder
 }
+
+// TrackNew, when non-nil, observes every kernel New constructs. The
+// telemetry server installs it to follow the currently live kernel across
+// a bench run's many boots (so /procs always reflects the kernel running
+// now). Install it before any kernel is constructed; it must be safe to
+// call from whichever goroutine boots kernels.
+var TrackNew func(*Kernel)
 
 // New boots a kernel on a fresh simulation engine.
 func New(cfg Config) *Kernel {
@@ -323,6 +354,10 @@ func New(cfg Config) *Kernel {
 	if o == nil {
 		o = obs.Default
 	}
+	fr := cfg.Flight
+	if fr == nil {
+		fr = flight.Default
+	}
 	k := &Kernel{
 		Eng:     sim.NewEngine(cfg.Machine.Cores),
 		Machine: cfg.Machine,
@@ -333,7 +368,23 @@ func New(cfg Config) *Kernel {
 		procs:   make(map[PID]*Proc),
 		next:    1,
 		Obs:     o,
+		Flight:  fr,
 	}
+	// Frame alloc/free flight events: timestamped from the running task's
+	// virtual clock (zero during pre-Run setup) and attributed to the
+	// process the kernel is currently serving. Allocation only ever happens
+	// on the simulation goroutine — parallel fork workers copy into frames
+	// allocated before the fan-out — so curPID is stable here.
+	k.Mem.SetFrameObserver(func(alloc bool, pfn tmem.PFN) {
+		if !k.Flight.On() {
+			return
+		}
+		kind := flight.KindFrameAlloc
+		if !alloc {
+			kind = flight.KindFrameFree
+		}
+		k.Flight.Emit(uint64(k.Eng.Now()), int32(k.curPID), kind, uint64(pfn), 0, 0)
+	})
 	if cfg.Machine.SingleAddressSpace {
 		k.SharedAS = vm.NewAddressSpace(k.Mem)
 	}
@@ -352,18 +403,25 @@ func New(cfg Config) *Kernel {
 		panic("kernel: cannot seal syscall entry: " + err.Error())
 	}
 	k.sentry = sentry
+	if TrackNew != nil {
+		TrackNew(k)
+	}
 	return k
 }
 
 // VFS returns the kernel's file system.
 func (k *Kernel) VFS() *VFS { return k.vfs }
 
-// Procs returns the live process table (for tests and the harness).
+// Procs returns the live process table (for tests and the harness, which
+// inspect it only while the simulation is quiescent; live snapshots go
+// through ProcStats).
 func (k *Kernel) Procs() map[PID]*Proc { return k.procs }
 
 // FindProc returns the process with the given PID.
 func (k *Kernel) FindProc(pid PID) (*Proc, bool) {
+	k.procMu.RLock()
 	p, ok := k.procs[pid]
+	k.procMu.RUnlock()
 	return p, ok
 }
 
@@ -397,6 +455,13 @@ func (k *Kernel) Spawn(spec ProgramSpec, start sim.Time, entry func(*Proc)) (*Pr
 
 // startProc attaches a sim task to a fully constructed Proc.
 func (k *Kernel) startProc(p *Proc, start sim.Time, entry func(*Proc)) {
+	if k.Flight.On() {
+		parent := PID(0)
+		if p.Parent != nil {
+			parent = p.Parent.PID
+		}
+		k.Flight.Emit(uint64(start), int32(p.PID), flight.KindProcSpawn, uint64(parent), 0, 0)
+	}
 	if obs.On() {
 		k.Obs.Tracer.SetProcName(int(p.PID), fmt.Sprintf("%s[%d]", p.Spec.Name, p.PID))
 	}
@@ -437,12 +502,20 @@ func (k *Kernel) terminate(p *Proc, status int) {
 	}
 	p.exited = true
 	p.exitStatus = status
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindProcExit, uint64(status), 0, 0)
+	}
+	k.curPID = p.PID
 	p.FDs.CloseAll(k, p)
 	// Release the μprocess memory image. Shared frames survive through
 	// their reference counts; private frames are freed.
 	if err := p.AS.UnmapRange(p.Region.Base, p.Region.Size); err != nil {
 		panic("kernel: exit unmap: " + err.Error())
 	}
+	// Its image is gone: release the process's frame-ownership charge so
+	// live /procs views and the stress-soak breakdown see exited processes
+	// drop to zero instead of leaking attribution.
+	p.Acct.FramesOwned.Set(0)
 	// Virtual-address-space reclamation (§6 future work): the region can
 	// be reused once nothing can reference it. Capabilities into a region
 	// only ever flow to fork descendants (through shared pages pending
@@ -458,7 +531,7 @@ func (k *Kernel) terminate(p *Proc, status int) {
 		p.Parent.childExit.WakeAll(p.Task, p.Task.Now())
 	} else {
 		// No parent to reap us: self-reap.
-		delete(k.procs, p.PID)
+		k.reap(p)
 	}
 }
 

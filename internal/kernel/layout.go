@@ -185,12 +185,16 @@ func (k *Kernel) load(spec ProgramSpec) (*Proc, error) {
 		Region: region,
 		FDs:    NewFDTable(),
 	}
+	k.procMu.Lock()
 	k.procs[p.PID] = p
+	k.procMu.Unlock()
+	k.curPID = p.PID
 
 	// Map every segment. The heap is mapped eagerly on unikernel machines
 	// (μFork's build-time static heap, §4.2) and demand-paged on the
 	// monolithic baseline, whose fault handler maps heap pages on first
 	// touch.
+	imagePages := 0
 	for s := Segment(0); s < numSegments; s++ {
 		if s == SegHeap && k.Machine.DemandPagedHeap {
 			continue
@@ -201,8 +205,10 @@ func (k *Kernel) load(spec ProgramSpec) (*Proc, error) {
 			if _, err := as.MapNew(vm.VPNOf(va), s.NaturalProt()); err != nil {
 				return nil, fmt.Errorf("kernel: load %s %v page %d: %w", spec.Name, s, i, err)
 			}
+			imagePages++
 		}
 	}
+	p.Acct.chargeFrames(int64(imagePages))
 
 	p.initCaps()
 	if err := k.populateGOT(p); err != nil {

@@ -27,7 +27,7 @@ func (k *Kernel) PrivilegedOp(p *Proc, op string) error {
 // POSIX permission checks reduce to: a μprocess may kill itself or its
 // descendants.
 func (k *Kernel) Kill(p *Proc, pid PID) error {
-	k.enter(p, "kill", 0)
+	k.enter(p, SysKill, 0)
 	defer k.leave(p)
 	target, ok := k.procs[pid]
 	if !ok {
@@ -75,7 +75,7 @@ func (k *Kernel) checkKilled(p *Proc) {
 // address space — no state duplication, no relocation. The child inherits
 // the parent's descriptor table (as posix_spawn file actions default to).
 func (k *Kernel) PosixSpawn(p *Proc, spec ProgramSpec, entry func(*Proc)) (PID, error) {
-	k.enter(p, "posix-spawn", 0)
+	k.enter(p, SysPosixSpawn, 0)
 	defer k.leave(p)
 	child, err := k.load(spec)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"ufork/internal/cap"
 	"ufork/internal/obs"
+	"ufork/internal/obs/flight"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -71,6 +72,10 @@ type Proc struct {
 	// Sbrk; used by the demand-paged baseline heap accounting.
 	BrkPages int
 
+	// Acct is the per-μprocess accounting block (procfs-style counters the
+	// ProcStat API, SYS_PROCSTAT, and the telemetry server snapshot live).
+	Acct Accounting
+
 	// Forked counts forks performed by this process.
 	Forked int
 	// LastFork holds the statistics of the most recent fork this process
@@ -79,9 +84,11 @@ type Proc struct {
 
 	// sysSpan is the in-flight syscall trace span (kernel entry through
 	// exit); syscalls do not nest within one μprocess, so one slot is
-	// enough. sysEnter is its start time for latency histograms.
+	// enough. sysEnter is its start time for latency accounting and sysNo
+	// the in-flight syscall number for the flight recorder's return event.
 	sysSpan  obs.Span
 	sysEnter sim.Time
+	sysNo    SysNo
 }
 
 // Kernel returns the owning kernel.
@@ -124,6 +131,12 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 			return pfn, off, nil
 		}
 		p.k.Stats.PageFaults.Inc()
+		p.Acct.Faults.Inc()
+		p.k.curPID = p.PID
+		if p.k.Flight.On() {
+			p.k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindFault,
+				uint64(fault.Kind), fault.VA, 0)
+		}
 		var sp obs.Span
 		if obs.On() {
 			p.k.Obs.Reg.Counter("vm.fault." + fault.Kind.String()).Inc()
@@ -132,12 +145,43 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		}
 		// Taking the fault costs a trap + handler dispatch.
 		p.Task.Advance(p.k.Machine.PageFault)
+		// Snapshot the address-space copy counters around the handler: the
+		// deltas classify the resolution outcome (CoW copy / CoA adopt /
+		// CoPA relocation) without knowing which engine ran.
+		st := &p.AS.Stats
+		copied0, adopted0, relocs0 := st.PagesCopied.Value(), st.PagesAdopted.Value(), st.CapsRelocated.Value()
 		err := p.k.Engine.HandleFault(p.k, p, fault, acc)
 		sp.End(uint64(p.Task.Now()), obs.A("va", fault.VA))
 		if err != nil {
 			// Double-wrap so errors.Is sees both the segfault and the
 			// handler's cause (e.g. an injected tmem.ErrOutOfMemory).
 			return tmem.NoFrame, 0, fmt.Errorf("%w: %w", ErrSegfault, err)
+		}
+		copied := st.PagesCopied.Value() - copied0
+		adopted := st.PagesAdopted.Value() - adopted0
+		relocs := st.CapsRelocated.Value() - relocs0
+		switch {
+		case relocs > 0:
+			p.Acct.FaultCoPA.Inc()
+		case copied > 0:
+			p.Acct.FaultCoW.Inc()
+		case adopted > 0:
+			p.Acct.FaultCoA.Inc()
+		default:
+			p.Acct.FaultMapped.Inc()
+			if fault.Kind == vm.FaultNotMapped {
+				// Demand map: the handler mapped one fresh frame (the
+				// monolithic baseline's demand-paged heap).
+				p.Acct.chargeFrames(1)
+			}
+		}
+		p.Acct.FaultCapsRelocated.Add(relocs)
+		if copied > 0 {
+			p.Acct.chargeFrames(int64(copied))
+		}
+		if p.k.Flight.On() {
+			p.k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindFaultDone,
+				uint64(fault.Kind), copied, relocs)
 		}
 	}
 	return tmem.NoFrame, 0, fmt.Errorf("%w: fault loop at %#x", ErrSegfault, va)

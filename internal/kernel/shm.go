@@ -24,7 +24,7 @@ type shmRegistry struct {
 // ShmOpen creates or opens a named shared-memory object of the given size
 // (rounded up to whole pages on creation).
 func (k *Kernel) ShmOpen(p *Proc, name string, pages int) (*ShmObject, error) {
-	k.enter(p, "shm-open", len(name))
+	k.enter(p, SysShmOpen, len(name))
 	defer k.leave(p)
 	if k.shm.objects == nil {
 		k.shm.objects = make(map[string]*ShmObject)
@@ -49,7 +49,7 @@ func (k *Kernel) ShmOpen(p *Proc, name string, pages int) (*ShmObject, error) {
 // physical frames become visible to every mapper — shared memory across
 // μprocesses inside the single address space.
 func (k *Kernel) ShmMap(p *Proc, obj *ShmObject, off uint64) (mapped uint64, err error) {
-	k.enter(p, "shm-map", 0)
+	k.enter(p, SysShmMap, 0)
 	defer k.leave(p)
 	base := p.Layout.SegBase(p.Region.Base, SegHeap) + off
 	if base%PageSize != 0 {
@@ -94,7 +94,7 @@ func (k *Kernel) ShmObjects() []*ShmObject {
 
 // ShmUnlink removes the name; frames die with the last mapping.
 func (k *Kernel) ShmUnlink(p *Proc, name string) error {
-	k.enter(p, "shm-unlink", len(name))
+	k.enter(p, SysShmUnlink, len(name))
 	defer k.leave(p)
 	if _, ok := k.shm.objects[name]; !ok {
 		return fmt.Errorf("%w: shm %s", ErrNoEnt, name)

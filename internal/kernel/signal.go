@@ -33,7 +33,7 @@ type sigState struct {
 // Sigaction registers (or, with a nil handler, resets) the disposition of
 // sig for the calling process. SIGKILL cannot be caught.
 func (k *Kernel) Sigaction(p *Proc, sig Signal, h SigHandler) error {
-	k.enter(p, "sigaction", 0)
+	k.enter(p, SysSigaction, 0)
 	defer k.leave(p)
 	if sig == SIGKILL {
 		return fmt.Errorf("kernel: SIGKILL cannot be caught")
@@ -52,7 +52,7 @@ func (k *Kernel) Sigaction(p *Proc, sig Signal, h SigHandler) error {
 // SignalPID queues sig for the target process. Permission model as Kill:
 // self or descendants.
 func (k *Kernel) SignalPID(p *Proc, pid PID, sig Signal) error {
-	k.enter(p, "signal-p-i-d", 0)
+	k.enter(p, SysSignalPID, 0)
 	defer k.leave(p)
 	target, ok := k.procs[pid]
 	if !ok {

@@ -5,22 +5,31 @@ import (
 
 	"ufork/internal/cap"
 	"ufork/internal/obs"
+	"ufork/internal/obs/flight"
 	"ufork/internal/sim"
 )
 
 // enter charges the user→kernel transition and the isolation-dependent
 // checks, then serializes on the big kernel lock where the machine model
-// requires it (§4.4, §4.5). name identifies the syscall for dispatch
-// accounting and tracing. bufBytes is the total size of user buffers the
-// call passes by reference; under IsolationFull they are copied to kernel
-// memory before use (TOCTTOU protection, §4.4 principle 4).
-func (k *Kernel) enter(p *Proc, name string, bufBytes int) {
+// requires it (§4.4, §4.5). no identifies the syscall for dispatch
+// accounting, per-process counters, and tracing. bufBytes is the total
+// size of user buffers the call passes by reference; under IsolationFull
+// they are copied to kernel memory before use (TOCTTOU protection, §4.4
+// principle 4).
+func (k *Kernel) enter(p *Proc, no SysNo, bufBytes int) {
 	t := p.Task
 	k.Stats.Syscalls.Inc()
+	p.Acct.Syscalls[no].Inc()
+	p.sysNo = no
+	p.sysEnter = t.Now()
+	k.curPID = p.PID
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindSyscall, uint64(no), 0, 0)
+	}
 	if obs.On() {
+		name := no.String()
 		k.Obs.Reg.Counter("syscall." + name).Inc()
 		p.sysSpan = k.Obs.Tracer.Begin(int(p.PID), p.Task.ID, name, "syscall", uint64(t.Now()))
-		p.sysEnter = t.Now()
 	}
 	// Pending kills and signals are delivered at kernel entry.
 	k.checkKilled(p)
@@ -57,6 +66,10 @@ func (k *Kernel) enter(p *Proc, name string, bufBytes int) {
 // switch with its TLB/cache maintenance (§2.2). Switches occupy the CPU,
 // so they are booked on a core rather than merely advancing the clock.
 func (k *Kernel) chargeSwitch(p *Proc) {
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindCtxSwitch,
+			uint64(k.Machine.CtxSwitch), 0, 0)
+	}
 	if obs.On() {
 		k.Obs.Tracer.Complete(int(p.PID), p.Task.ID, "ctx-switch", "sched",
 			uint64(p.Task.Now()), uint64(k.Machine.CtxSwitch))
@@ -72,6 +85,10 @@ func (k *Kernel) leave(p *Proc) {
 		k.bkl.Unlock(p.Task)
 	}
 	p.Task.Advance(k.Machine.SyscallExit)
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindSysRet,
+			uint64(p.sysNo), uint64(p.Task.Now()-p.sysEnter), 0)
+	}
 	if p.sysSpan.Active() {
 		p.sysSpan.End(uint64(p.Task.Now()))
 		p.sysSpan = obs.Span{}
@@ -83,14 +100,14 @@ func (k *Kernel) leave(p *Proc) {
 
 // Getpid returns the caller's process ID.
 func (k *Kernel) Getpid(p *Proc) PID {
-	k.enter(p, "getpid", 0)
+	k.enter(p, SysGetpid, 0)
 	defer k.leave(p)
 	return p.PID
 }
 
 // Yield gives up the CPU.
 func (k *Kernel) Yield(p *Proc) {
-	k.enter(p, "yield", 0)
+	k.enter(p, SysYield, 0)
 	k.leave(p)
 	p.Task.Sync()
 }
@@ -98,7 +115,7 @@ func (k *Kernel) Yield(p *Proc) {
 // Exit terminates the calling process with the given status. It does not
 // return: the entry function unwinds via panic, recovered by the kernel.
 func (k *Kernel) Exit(p *Proc, status int) {
-	k.enter(p, "exit", 0)
+	k.enter(p, SysExit, 0)
 	k.leave(p)
 	panic(exitPanic{status})
 }
@@ -110,14 +127,18 @@ func (k *Kernel) Exit(p *Proc, status int) {
 // relocated (§3.5 step 2) — so transparency at the memory level is
 // preserved.
 func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
-	k.enter(p, "fork", 0)
+	k.enter(p, SysFork, 0)
 	defer k.leave(p)
 	if err := k.chaosErr("fork"); err != nil {
 		return 0, err
 	}
 	k.Stats.Forks.Inc()
 	p.Forked++
+	p.Acct.Forks.Inc()
 	forkStart := p.Task.Now()
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(forkStart), int32(p.PID), flight.KindForkStart, 0, 0, 0)
+	}
 
 	child := &Proc{
 		k:          k,
@@ -139,9 +160,24 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	stats.FixupTime = sim.Time(child.FDs.Len())*k.Machine.FDDup + k.Machine.ForkFixed
 	stats.Latency += stats.FixupTime
 
+	k.procMu.Lock()
 	k.procs[child.PID] = child
+	k.procMu.Unlock()
 	p.children = append(p.children, child)
 
+	// Fork cost attribution (§5.1): bytes physically copied and
+	// capabilities relocated are charged to the forking parent; the
+	// duplicated frames themselves are owned by the child.
+	copiedPages := stats.PagesCopied + stats.ProactivePages
+	p.Acct.ForkBytesCopied.Add(uint64(copiedPages) * PageSize)
+	p.Acct.ForkCapsRelocated.Add(uint64(stats.CapsRelocated))
+	child.Acct.chargeFrames(int64(copiedPages))
+	child.Acct.noteBrk(child.BrkPages)
+
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(forkStart+stats.Latency), int32(p.PID), flight.KindForkDone,
+			uint64(child.PID), uint64(copiedPages), uint64(stats.CapsRelocated))
+	}
 	if obs.On() {
 		// The fork span and its kernel-side fixup phase; the engine has
 		// already emitted its own phase spans starting at forkStart.
@@ -156,6 +192,15 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 		tr.Complete(pid, tid, "fd-dup+fixed", "fork",
 			uint64(forkStart)+uint64(stats.Latency-stats.FixupTime), uint64(stats.FixupTime))
 		k.Obs.Reg.Histogram("fork.latency." + k.Engine.Name()).Observe(uint64(stats.Latency))
+		// Per-phase latency histograms: the §6-style breakdown the
+		// telemetry server exports as fork_phase_* on /metrics.
+		reg := k.Obs.Reg
+		reg.Histogram("fork.phase.reserve").Observe(uint64(stats.ReserveTime))
+		reg.Histogram("fork.phase.ptecopy").Observe(uint64(stats.PTECopyTime))
+		reg.Histogram("fork.phase.eagercopy").Observe(uint64(stats.EagerCopyTime))
+		reg.Histogram("fork.phase.scan").Observe(uint64(stats.ScanTime))
+		reg.Histogram("fork.phase.reg").Observe(uint64(stats.RegTime))
+		reg.Histogram("fork.phase.fixup").Observe(uint64(stats.FixupTime))
 	}
 
 	// The fork call's latency is charged to the parent; the child begins
@@ -191,7 +236,7 @@ func (k *Kernel) abortFork(p, child *Proc) {
 // Wait blocks until one child has exited, reaps it, and returns its PID
 // and exit status.
 func (k *Kernel) Wait(p *Proc) (PID, int, error) {
-	k.enter(p, "wait", 0)
+	k.enter(p, SysWait, 0)
 	defer k.leave(p)
 	if err := k.chaosErr("wait"); err != nil {
 		return 0, 0, err
@@ -203,7 +248,7 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 		for i, c := range p.children {
 			if c.exited {
 				p.children = append(p.children[:i], p.children[i+1:]...)
-				delete(k.procs, c.PID)
+				k.reap(c)
 				return c.PID, c.exitStatus, nil
 			}
 		}
@@ -213,7 +258,7 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 
 // Open opens (or with create, creates) a ram-disk file.
 func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
-	k.enter(p, "open", len(name))
+	k.enter(p, SysOpen, len(name))
 	defer k.leave(p)
 	if err := k.chaosErr("open"); err != nil {
 		return -1, err
@@ -232,7 +277,7 @@ func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
 
 // Close closes a descriptor.
 func (k *Kernel) Close(p *Proc, fd int) error {
-	k.enter(p, "close", 0)
+	k.enter(p, SysClose, 0)
 	defer k.leave(p)
 	return p.FDs.Close(k, p, fd)
 }
@@ -240,7 +285,7 @@ func (k *Kernel) Close(p *Proc, fd int) error {
 // Write writes buf to fd. The data crosses the user/kernel boundary, so
 // under IsolationFull it is TOCTTOU-copied first (cost charged by enter).
 func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
-	k.enter(p, "write", len(buf))
+	k.enter(p, SysWrite, len(buf))
 	defer k.leave(p)
 	if err := k.chaosErr("write"); err != nil {
 		return 0, err
@@ -259,7 +304,7 @@ func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
 
 // Read reads up to len(buf) bytes from fd.
 func (k *Kernel) Read(p *Proc, fd int, buf []byte) (int, error) {
-	k.enter(p, "read", len(buf))
+	k.enter(p, SysRead, len(buf))
 	defer k.leave(p)
 	if err := k.chaosErr("read"); err != nil {
 		return 0, err
@@ -305,7 +350,7 @@ func (k *Kernel) ReadVM(p *Proc, fd int, c cap.Capability, off, n uint64) (int, 
 // Fsync flushes a file to stable storage: the fixed finalisation cost of
 // a snapshot (temp-file rename, metadata flush).
 func (k *Kernel) Fsync(p *Proc, fd int) error {
-	k.enter(p, "fsync", 0)
+	k.enter(p, SysFsync, 0)
 	defer k.leave(p)
 	if _, err := p.FDs.Get(fd); err != nil {
 		return err
@@ -316,7 +361,7 @@ func (k *Kernel) Fsync(p *Proc, fd int) error {
 
 // Pipe creates a pipe and returns (readFD, writeFD).
 func (k *Kernel) Pipe(p *Proc) (int, int, error) {
-	k.enter(p, "pipe", 0)
+	k.enter(p, SysPipe, 0)
 	defer k.leave(p)
 	if err := k.chaosErr("pipe"); err != nil {
 		return -1, -1, err
@@ -331,7 +376,7 @@ func (k *Kernel) Pipe(p *Proc) (int, int, error) {
 // listener handle (the workload driver uses the handle to inject
 // connections).
 func (k *Kernel) Listen(p *Proc) (int, *Listener) {
-	k.enter(p, "listen", 0)
+	k.enter(p, SysListen, 0)
 	defer k.leave(p)
 	l := NewListener()
 	fd := p.FDs.Install(&OpenFile{File: l})
@@ -340,7 +385,7 @@ func (k *Kernel) Listen(p *Proc) (int, *Listener) {
 
 // Accept blocks until a connection arrives on the listening descriptor.
 func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
-	k.enter(p, "accept", 0)
+	k.enter(p, SysAccept, 0)
 	defer k.leave(p)
 	of, err := p.FDs.Get(fd)
 	if err != nil {
@@ -361,7 +406,7 @@ func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
 // μprocess this only moves a bound; the monolithic baseline demand-pages,
 // so the accounting matters there.
 func (k *Kernel) Sbrk(p *Proc, pages int) error {
-	k.enter(p, "sbrk", 0)
+	k.enter(p, SysSbrk, 0)
 	defer k.leave(p)
 	if err := k.chaosErr("sbrk"); err != nil {
 		return err
@@ -371,5 +416,6 @@ func (k *Kernel) Sbrk(p *Proc, pages int) error {
 			p.BrkPages, pages, p.Layout.Pages[SegHeap])
 	}
 	p.BrkPages += pages
+	p.Acct.noteBrk(p.BrkPages)
 	return nil
 }

@@ -141,6 +141,20 @@ func (h *Histogram) Reset() {
 	h.max.Store(0)
 }
 
+// Buckets returns the bucket upper bounds and the cumulative observation
+// counts up to each bound, with one final cumulative entry for the +Inf
+// overflow bucket — the Prometheus exposition form.
+func (h *Histogram) Buckets() (bounds []uint64, cumulative []uint64) {
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative
+}
+
 // HistSummary is the exported percentile summary of a histogram.
 type HistSummary struct {
 	Count uint64 `json:"count"`
@@ -150,9 +164,11 @@ type HistSummary struct {
 	P50   uint64 `json:"p50"`
 	P90   uint64 `json:"p90"`
 	P99   uint64 `json:"p99"`
+	P999  uint64 `json:"p999"`
 }
 
-// Summary captures count, sum, min/max and the p50/p90/p99 quantiles.
+// Summary captures count, sum, min/max and the p50/p90/p99/p99.9
+// quantiles.
 func (h *Histogram) Summary() HistSummary {
 	return HistSummary{
 		Count: h.Count(),
@@ -162,5 +178,6 @@ func (h *Histogram) Summary() HistSummary {
 		P50:   h.Percentile(0.50),
 		P90:   h.Percentile(0.90),
 		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
 	}
 }

@@ -131,7 +131,7 @@ func TestHistogramSummaryMatchesPercentiles(t *testing.T) {
 		h.Observe(v)
 	}
 	s := h.Summary()
-	want := HistSummary{Count: 100, Sum: 100 * 101 / 2, Min: 1, Max: 100, P50: 50, P90: 90, P99: 99}
+	want := HistSummary{Count: 100, Sum: 100 * 101 / 2, Min: 1, Max: 100, P50: 50, P90: 90, P99: 99, P999: 100}
 	if s != want {
 		t.Errorf("Summary = %+v, want %+v", s, want)
 	}

@@ -185,8 +185,21 @@ func (s Snapshot) Text() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "histogram  %-44s n=%d sum=%d min=%d p50=%d p90=%d p99=%d max=%d\n",
-			n, h.Count, h.Sum, h.Min, h.P50, h.P90, h.P99, h.Max)
+		fmt.Fprintf(&b, "histogram  %-44s n=%d sum=%d min=%d p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
+			n, h.Count, h.Sum, h.Min, h.P50, h.P90, h.P99, h.P999, h.Max)
 	}
 	return b.String()
+}
+
+// Histograms returns the registered histograms by name: a copied map over
+// the shared (lock-free) instruments, for exporters that need bucket-level
+// detail a Snapshot flattens away.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h
+	}
+	return out
 }

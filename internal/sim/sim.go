@@ -109,6 +109,18 @@ func NewEngine(cores int) *Engine {
 // Cores returns the number of simulated CPU cores.
 func (e *Engine) Cores() int { return e.cores.n() }
 
+// Now returns the virtual clock of the currently running task, or zero
+// when the engine is idle (setup before Run, teardown after). The
+// scheduler writes running before the resume-channel handoff and clears it
+// after the task yields back, so a call made from inside the running task
+// — the only caller — observes a stable pointer.
+func (e *Engine) Now() Time {
+	if t := e.running; t != nil {
+		return t.now
+	}
+	return 0
+}
+
 // Go creates a task that will run fn starting at virtual time start. It
 // may be called before Run or from within a running task (e.g. by fork).
 func (e *Engine) Go(name string, start Time, fn func(*Task)) *Task {

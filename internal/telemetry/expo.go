@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ufork/internal/kernel"
+	"ufork/internal/obs"
+)
+
+// Exposition bundles the data sources /metrics renders: an obs registry
+// snapshot, bucket-level histogram detail, per-μprocess accounting from
+// the live kernel, and flight-recorder meta counters. Rendering is pure
+// and fully sorted, so a fixed Exposition produces byte-identical output
+// (the golden test pins it).
+type Exposition struct {
+	Snap  obs.Snapshot
+	Hists map[string]*obs.Histogram
+	Procs []kernel.ProcStat
+
+	FlightSeq     uint64
+	FlightDropped uint64
+}
+
+// WriteMetrics renders the exposition in Prometheus text format
+// (version 0.0.4): HELP/TYPE headers per family, `_total`-suffixed
+// counters, and cumulative `_bucket{le=...}`/`_sum`/`_count` histogram
+// series. All durations are virtual nanoseconds (the sim clock), flagged
+// with an `_ns` suffix rather than Prometheus's wall-clock seconds
+// convention.
+func WriteMetrics(w io.Writer, e Exposition) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(e.Snap.Counters))
+	for n := range e.Snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := "ufork_" + sanitize(n) + "_total"
+		fmt.Fprintf(bw, "# HELP %s kernel counter %s\n# TYPE %s counter\n%s %d\n",
+			m, n, m, m, e.Snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range e.Snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := "ufork_" + sanitize(n)
+		fmt.Fprintf(bw, "# HELP %s kernel gauge %s\n# TYPE %s gauge\n%s %d\n",
+			m, n, m, m, e.Snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range e.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := e.Hists[n]
+		m := "ufork_" + sanitize(n) + "_ns"
+		fmt.Fprintf(bw, "# HELP %s virtual-time histogram %s (ns)\n# TYPE %s histogram\n", m, n, m)
+		bounds, cum := h.Buckets()
+		for i, b := range bounds {
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m, b, cum[i])
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m, cum[len(cum)-1])
+		fmt.Fprintf(bw, "%s_sum %d\n", m, h.Sum())
+		fmt.Fprintf(bw, "%s_count %d\n", m, h.Count())
+	}
+
+	writeProcMetrics(bw, e.Procs)
+
+	fmt.Fprintf(bw, "# HELP ufork_flight_events_total flight-recorder events emitted\n"+
+		"# TYPE ufork_flight_events_total counter\nufork_flight_events_total %d\n", e.FlightSeq)
+	fmt.Fprintf(bw, "# HELP ufork_flight_dropped_total flight-recorder events evicted by ring wrap\n"+
+		"# TYPE ufork_flight_dropped_total counter\nufork_flight_dropped_total %d\n", e.FlightDropped)
+	return bw.Flush()
+}
+
+// writeProcMetrics renders the per-μprocess accounting families. Each
+// family carries pid/proc labels; fault counters add the copy-mode
+// outcome so a CoPA storm is one PromQL selector away.
+func writeProcMetrics(bw *bufio.Writer, procs []kernel.ProcStat) {
+	if len(procs) == 0 {
+		return
+	}
+	family := func(name, typ, help string, emit func(kernel.ProcStat)) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, p := range procs {
+			emit(p)
+		}
+	}
+	family("ufork_proc_syscalls_total", "counter", "syscalls completed per process", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_syscalls_total{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.SyscallsTotal)
+	})
+	family("ufork_proc_faults_total", "counter", "page faults per process by copy-mode outcome", func(p kernel.ProcStat) {
+		for _, o := range [...]struct {
+			outcome string
+			v       uint64
+		}{{"cow", p.FaultCoW}, {"coa", p.FaultCoA}, {"copa", p.FaultCoPA}, {"mapped", p.FaultMapped}} {
+			fmt.Fprintf(bw, "ufork_proc_faults_total{pid=\"%d\",proc=%q,outcome=%q} %d\n",
+				p.PID, p.Name, o.outcome, o.v)
+		}
+	})
+	family("ufork_proc_frames_owned", "gauge", "physical frames charged to the process", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_frames_owned{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.FramesOwned)
+	})
+	family("ufork_proc_frames_peak", "gauge", "peak physical frames charged to the process", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_frames_peak{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.FramesPeak)
+	})
+	family("ufork_proc_forks_total", "counter", "fork calls performed by the process", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_forks_total{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.Forks)
+	})
+	family("ufork_proc_fork_bytes_copied_total", "counter", "bytes physically copied by the process's forks", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_fork_bytes_copied_total{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.ForkBytesCopied)
+	})
+	family("ufork_proc_caps_relocated_total", "counter", "capabilities relocated for the process (fork eager + fault lazy)", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_caps_relocated_total{pid=\"%d\",proc=%q} %d\n",
+			p.PID, p.Name, p.ForkCapsRelocated+p.FaultCapsRelocated)
+	})
+	family("ufork_proc_peak_brk_pages", "gauge", "peak heap watermark in pages", func(p kernel.ProcStat) {
+		fmt.Fprintf(bw, "ufork_proc_peak_brk_pages{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.PeakBrkPages)
+	})
+}
+
+// sanitize maps an obs metric name (dot/dash separated) onto the
+// Prometheus name charset [a-zA-Z0-9_].
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

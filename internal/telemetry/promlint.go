@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates Prometheus text exposition (format 0.0.4) without any
+// external promtool dependency. It checks line syntax, metric/label name
+// charsets, TYPE placement and family grouping, histogram completeness
+// (+Inf bucket, _sum, _count, monotone cumulative buckets), and counter
+// naming. A nil return means the input is a valid exposition.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := map[string]string{}   // family → declared type
+	done := map[string]bool{}      // family → a later family started (grouping check)
+	var current string             // family currently being emitted
+	buckets := map[string][]le{}   // histogram family → observed buckets
+	sums := map[string]bool{}      // histogram family → _sum seen
+	counts := map[string]bool{}    // histogram family → _count seen
+	samples := map[string]int{}    // family → sample count
+	seen := map[string]struct{}{}  // duplicate series guard
+	order := []string{}            // family order for final checks
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				// Free-form comments are legal.
+				continue
+			}
+			if !validMetricName(name) {
+				fail(lineNo, "invalid metric name %q in # %s", name, kind)
+				continue
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(lineNo, "unknown metric type %q for %s", rest, name)
+				}
+				if _, dup := types[name]; dup {
+					fail(lineNo, "duplicate # TYPE for %s", name)
+				}
+				if samples[name] > 0 {
+					fail(lineNo, "# TYPE for %s appears after its samples", name)
+				}
+				types[name] = rest
+				order = append(order, name)
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			fail(lineNo, "malformed sample line %q", line)
+			continue
+		}
+		if !validMetricName(name) {
+			fail(lineNo, "invalid metric name %q", name)
+		}
+		for _, l := range labels {
+			if !validLabelName(l.name) {
+				fail(lineNo, "invalid label name %q on %s", l.name, name)
+			}
+		}
+		fam := familyOf(name, types)
+		if typ, declared := types[fam]; declared {
+			if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+				fail(lineNo, "counter %s should end in _total", fam)
+			}
+		} else {
+			fail(lineNo, "sample %s has no preceding # TYPE", name)
+		}
+		if done[fam] {
+			fail(lineNo, "samples of %s are not grouped (family resumed after another began)", fam)
+		}
+		if current != "" && current != fam {
+			done[current] = true
+		}
+		current = fam
+		samples[fam]++
+		series := name + "|" + labelKey(labels)
+		if _, dup := seen[series]; dup {
+			fail(lineNo, "duplicate series %s{%s}", name, labelKey(labels))
+		}
+		seen[series] = struct{}{}
+
+		if types[fam] == "histogram" {
+			switch {
+			case name == fam+"_bucket":
+				lev, found := labelValue(labels, "le")
+				if !found {
+					fail(lineNo, "histogram bucket %s missing le label", name)
+					break
+				}
+				bound := math.Inf(1)
+				if lev != "+Inf" {
+					var err error
+					bound, err = strconv.ParseFloat(lev, 64)
+					if err != nil {
+						fail(lineNo, "histogram bucket %s has unparsable le=%q", name, lev)
+					}
+				}
+				buckets[fam] = append(buckets[fam], le{bound, value, lineNo})
+			case name == fam+"_sum":
+				sums[fam] = true
+			case name == fam+"_count":
+				counts[fam] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	for _, fam := range order {
+		if types[fam] != "histogram" {
+			continue
+		}
+		bs := buckets[fam]
+		if len(bs) == 0 {
+			errs = append(errs, fmt.Errorf("histogram %s has no _bucket series", fam))
+			continue
+		}
+		sort.SliceStable(bs, func(i, j int) bool { return bs[i].bound < bs[j].bound })
+		if !math.IsInf(bs[len(bs)-1].bound, 1) {
+			errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", fam))
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].count < bs[i-1].count {
+				errs = append(errs, fmt.Errorf("line %d: histogram %s buckets not cumulative (le=%g count %g < %g)",
+					bs[i].line, fam, bs[i].bound, bs[i].count, bs[i-1].count))
+			}
+		}
+		if !sums[fam] {
+			errs = append(errs, fmt.Errorf("histogram %s missing _sum", fam))
+		}
+		if !counts[fam] {
+			errs = append(errs, fmt.Errorf("histogram %s missing _count", fam))
+		}
+	}
+	return errs
+}
+
+type le struct {
+	bound float64
+	count float64
+	line  int
+}
+
+type label struct{ name, value string }
+
+// labelValue returns the value of the named label, if present.
+func labelValue(labels []label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name type" lines.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 || f[0] != "#" || (f[1] != "HELP" && f[1] != "TYPE") {
+		return "", "", "", false
+	}
+	return f[1], f[2], strings.Join(f[3:], " "), true
+}
+
+// parseSample parses `name{l="v",...} value [ts]`, handling escapes inside
+// quoted label values.
+func parseSample(line string) (name string, labels []label, value float64, ok bool) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, false
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if rest == "" {
+				return "", nil, 0, false
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, false
+			}
+			lname := rest[:eq]
+			rest = rest[eq+2:]
+			var b strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					b.WriteByte(rest[j])
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				b.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, false
+			}
+			labels = append(labels, label{lname, b.String()})
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// familyOf strips histogram/summary sample suffixes when the base family
+// has a TYPE declaration.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return s != ""
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func labelKey(labels []label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.name + "=" + l.value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintStr(s string) []error { return Lint(strings.NewReader(s)) }
+
+// wantErr asserts exactly one lint error whose text contains frag.
+func wantErr(t *testing.T, input, frag string) {
+	t.Helper()
+	errs := lintStr(input)
+	if len(errs) == 0 {
+		t.Fatalf("lint accepted invalid input (want error containing %q):\n%s", frag, input)
+	}
+	for _, e := range errs {
+		if strings.Contains(e.Error(), frag) {
+			return
+		}
+	}
+	t.Fatalf("no lint error contains %q; got %v", frag, errs)
+}
+
+func TestLintAcceptsMinimalValid(t *testing.T) {
+	input := `# HELP ufork_forks_total forks
+# TYPE ufork_forks_total counter
+ufork_forks_total 3
+# HELP ufork_frames frames
+# TYPE ufork_frames gauge
+ufork_frames 640
+# HELP ufork_lat_ns latency
+# TYPE ufork_lat_ns histogram
+ufork_lat_ns_bucket{le="100"} 1
+ufork_lat_ns_bucket{le="+Inf"} 2
+ufork_lat_ns_sum 151
+ufork_lat_ns_count 2
+`
+	if errs := lintStr(input); len(errs) != 0 {
+		t.Fatalf("valid exposition rejected: %v", errs)
+	}
+}
+
+func TestLintRejectsSampleWithoutType(t *testing.T) {
+	wantErr(t, "ufork_x_total 1\n", "no preceding # TYPE")
+}
+
+func TestLintRejectsCounterWithoutTotalSuffix(t *testing.T) {
+	wantErr(t, "# TYPE ufork_forks counter\nufork_forks 3\n", "should end in _total")
+}
+
+func TestLintRejectsBadMetricName(t *testing.T) {
+	wantErr(t, "# TYPE bad-name counter\n", "invalid metric name")
+	wantErr(t, "bad-name 1\n", "invalid metric name")
+	wantErr(t, "justaname\n", "malformed sample")
+}
+
+func TestLintRejectsBadLabelName(t *testing.T) {
+	wantErr(t, "# TYPE ufork_x_total counter\nufork_x_total{bad-label=\"v\"} 1\n", "invalid label name")
+}
+
+func TestLintRejectsDuplicateSeries(t *testing.T) {
+	wantErr(t, `# TYPE ufork_x_total counter
+ufork_x_total{pid="1"} 1
+ufork_x_total{pid="1"} 2
+`, "duplicate series")
+}
+
+func TestLintRejectsInterleavedFamilies(t *testing.T) {
+	wantErr(t, `# TYPE ufork_a_total counter
+# TYPE ufork_b_total counter
+ufork_a_total 1
+ufork_b_total 1
+ufork_a_total{pid="2"} 1
+`, "not grouped")
+}
+
+func TestLintRejectsTypeAfterSamples(t *testing.T) {
+	wantErr(t, `# TYPE ufork_a_total counter
+ufork_a_total 1
+# TYPE ufork_a_total counter
+`, "appears after its samples")
+}
+
+func TestLintRejectsHistogramMissingInf(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="10"} 1
+ufork_h_sum 5
+ufork_h_count 1
+`, `missing le="+Inf"`)
+}
+
+func TestLintRejectsHistogramNonCumulative(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="10"} 5
+ufork_h_bucket{le="20"} 3
+ufork_h_bucket{le="+Inf"} 5
+ufork_h_sum 5
+ufork_h_count 5
+`, "not cumulative")
+}
+
+func TestLintRejectsHistogramMissingSumCount(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="+Inf"} 1
+ufork_h_count 1
+`, "missing _sum")
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="+Inf"} 1
+ufork_h_sum 1
+`, "missing _count")
+}
+
+func TestLintRejectsUnknownType(t *testing.T) {
+	wantErr(t, "# TYPE ufork_x weird\n", "unknown metric type")
+}
+
+func TestLintHandlesEscapedLabelValues(t *testing.T) {
+	input := `# TYPE ufork_x_total counter
+ufork_x_total{proc="child \"q\"",pid="2"} 1
+ufork_x_total{proc="back\\slash",pid="3"} 2
+`
+	if errs := lintStr(input); len(errs) != 0 {
+		t.Fatalf("escaped label values rejected: %v", errs)
+	}
+}
+
+func TestLintAllowsTimestampsAndFreeComments(t *testing.T) {
+	input := `# a free-form comment
+# TYPE ufork_x_total counter
+ufork_x_total 1 1700000000000
+`
+	if errs := lintStr(input); len(errs) != 0 {
+		t.Fatalf("timestamped sample rejected: %v", errs)
+	}
+}

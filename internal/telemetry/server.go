@@ -1,0 +1,146 @@
+// Package telemetry is the live introspection plane: an HTTP server that
+// exposes the obs registry as Prometheus text exposition, per-μprocess
+// accounting as JSON, the flight recorder as text or Chrome trace, and
+// net/http/pprof — while the simulation is still running. Production
+// systems are scraped live and debugged from flight dumps, not stdout
+// summaries; this is that surface for the simulated kernels.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+
+	"ufork/internal/kernel"
+	"ufork/internal/obs"
+	"ufork/internal/obs/flight"
+)
+
+// Server serves the telemetry endpoints. Construct with New; all handlers
+// read only atomic state, so serving concurrently with a running
+// simulation is safe.
+type Server struct {
+	obs *obs.Obs
+	fr  *flight.Recorder
+	cur atomic.Pointer[kernel.Kernel]
+
+	// Addr is the bound listen address, set by Start (useful with ":0").
+	Addr string
+}
+
+// New creates a server over the given observability handle and flight
+// recorder (nil selects the process-wide defaults).
+func New(o *obs.Obs, fr *flight.Recorder) *Server {
+	if o == nil {
+		o = obs.Default
+	}
+	if fr == nil {
+		fr = flight.Default
+	}
+	return &Server{obs: o, fr: fr}
+}
+
+// Track makes k the kernel /procs and per-proc /metrics families reflect.
+// Installed as kernel.TrackNew by Start so bench runs that boot many
+// kernels always expose the current one.
+func (s *Server) Track(k *kernel.Kernel) { s.cur.Store(k) }
+
+func (s *Server) procs() []kernel.ProcStat {
+	if k := s.cur.Load(); k != nil {
+		return k.ProcStats()
+	}
+	return nil
+}
+
+// Handler returns the telemetry mux: /metrics, /procs, /flight,
+// /debug/pprof/*, and an index on /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/procs", s.handleProcs)
+	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `ufork telemetry
+  /metrics        Prometheus text exposition (obs registry + per-proc accounting)
+  /procs          per-μprocess accounting, JSON
+  /flight         flight-recorder tail (?n=64, ?format=text|chrome)
+  /debug/pprof/   host-process profiling
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w, Exposition{
+		Snap:          s.obs.Reg.Snapshot(),
+		Hists:         s.obs.Reg.Histograms(),
+		Procs:         s.procs(),
+		FlightSeq:     s.fr.Seq(),
+		FlightDropped: s.fr.Dropped(),
+	})
+}
+
+func (s *Server) handleProcs(w http.ResponseWriter, _ *http.Request) {
+	procs := s.procs()
+	if procs == nil {
+		procs = []kernel.ProcStat{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(procs)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	n := flight.DumpTail
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.fr.WriteChromeTrace(w, n)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.fr.WriteText(w, n)
+}
+
+// Start arms the live telemetry plane on addr: enables the obs layer and
+// the default flight recorder, installs kernel tracking, binds the
+// listener (failing fast on a bad address), and serves in the background
+// for the life of the process. This is what the -serve flag calls.
+func Start(addr string) (*Server, error) {
+	obs.Enable()
+	flight.Default.Enable()
+	s := New(obs.Default, flight.Default)
+	kernel.TrackNew = s.Track
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.Addr = ln.Addr().String()
+	go func() { _ = http.Serve(ln, s.Handler()) }()
+	return s, nil
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ufork/internal/kernel"
+	"ufork/internal/obs"
+	"ufork/internal/obs/flight"
+)
+
+// testServer builds a Server over private obs + flight state with a few
+// instruments populated, so endpoint tests never touch process globals.
+func testServer() *Server {
+	o := obs.New()
+	o.Reg.Counter("syscall.fork").Add(4)
+	o.Reg.Gauge("frames.allocated").Set(128)
+	h := o.Reg.Histogram("fork.phase.reserve")
+	h.Observe(120)
+	h.Observe(340)
+	fr := flight.New(2, 64)
+	fr.Enable()
+	fr.Emit(100, 1, flight.KindForkStart, 0, 0, 0)
+	fr.Emit(900, 1, flight.KindForkDone, 2, 8, 3)
+	return New(o, fr)
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := testServer().Handler()
+	res, body := get(t, h, "/metrics")
+	if ct := res.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"ufork_syscall_fork_total 4",
+		"ufork_frames_allocated 128",
+		"ufork_fork_phase_reserve_ns_count 2",
+		"ufork_flight_events_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+	if errs := Lint(strings.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("live /metrics fails lint: %v", errs)
+	}
+}
+
+func TestProcsEndpointEmpty(t *testing.T) {
+	_, body := get(t, testServer().Handler(), "/procs")
+	var procs []kernel.ProcStat
+	if err := json.Unmarshal([]byte(body), &procs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if procs == nil || len(procs) != 0 {
+		t.Fatalf("untracked /procs = %v, want empty array (not null)", procs)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Fatalf("procs body is not a JSON array:\n%s", body)
+	}
+}
+
+func TestProcsEndpointTracked(t *testing.T) {
+	s := testServer()
+	s.Track(&kernel.Kernel{}) // quiescent kernel: no procs, but tracked
+	_, body := get(t, s.Handler(), "/procs")
+	var procs []kernel.ProcStat
+	if err := json.Unmarshal([]byte(body), &procs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(procs) != 0 {
+		t.Fatalf("empty kernel exposes %d procs", len(procs))
+	}
+}
+
+func TestFlightEndpointText(t *testing.T) {
+	res, body := get(t, testServer().Handler(), "/flight?n=1")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(body, "flight recorder: last 1 of 2 events") {
+		t.Fatalf("flight text wrong:\n%s", body)
+	}
+	if strings.Contains(body, "fork-start") || !strings.Contains(body, "fork-done") {
+		t.Fatalf("?n=1 must keep only the newest event:\n%s", body)
+	}
+}
+
+func TestFlightEndpointChrome(t *testing.T) {
+	res, body := get(t, testServer().Handler(), "/flight?format=chrome")
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, body)
+	}
+	if len(trace.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(trace.TraceEvents))
+	}
+}
+
+func TestFlightEndpointBadN(t *testing.T) {
+	res, _ := get(t, testServer().Handler(), "/flight?n=bogus")
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", res.StatusCode)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	h := testServer().Handler()
+	res, body := get(t, h, "/")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index broken: %d\n%s", res.StatusCode, body)
+	}
+	res, _ = get(t, h, "/nonsense")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", res.StatusCode)
+	}
+}
+
+// TestStartServesLive binds a real listener on :0 and scrapes it — the
+// exact path the -serve flag takes, minus the simulation.
+func TestStartServesLive(t *testing.T) {
+	defer obs.Disable()
+	defer flight.Default.Disable()
+	defer func() { kernel.TrackNew = nil }()
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.On() || !flight.Default.On() {
+		t.Fatal("Start must arm obs and the flight recorder")
+	}
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if errs := Lint(resp.Body); len(errs) != 0 {
+		t.Fatalf("live scrape fails lint: %v", errs)
+	}
+}

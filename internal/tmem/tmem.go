@@ -121,6 +121,10 @@ type Memory struct {
 	// hooks holds the optional chaos-harness interception points; nil in
 	// production so the hot paths pay a single pointer compare.
 	hooks *Hooks
+	// observer, when non-nil, is called after every successful frame
+	// allocation and free (flight-recorder wiring). tmem has no clock or
+	// process notion, so the kernel closure supplies both.
+	observer func(alloc bool, pfn PFN)
 }
 
 // New creates a memory bank with the given number of physical frames.
@@ -181,8 +185,16 @@ func (m *Memory) alloc(zero bool) (PFN, error) {
 		m.peak = m.allocated
 	}
 	liveFrames.Add(1)
+	if m.observer != nil {
+		m.observer(true, pfn)
+	}
 	return pfn, nil
 }
+
+// SetFrameObserver installs fn as the alloc/free observer; nil removes it.
+// Allocation is confined to the simulation goroutine, so the observer need
+// not be safe for concurrent use.
+func (m *Memory) SetFrameObserver(fn func(alloc bool, pfn PFN)) { m.observer = fn }
 
 // FreeFrame returns a frame to the allocator. Freeing a frame that is not
 // currently allocated reports ErrFreeFree; the frame's storage is retained
@@ -203,6 +215,9 @@ func (m *Memory) FreeFrame(pfn PFN) error {
 	m.freeList = append(m.freeList, pfn)
 	m.allocated--
 	liveFrames.Add(-1)
+	if m.observer != nil {
+		m.observer(false, pfn)
+	}
 	return nil
 }
 
