@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist|stress]
+//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist|footprint|stress]
 //	            [-full] [-trace out.json] [-metrics out.json] [-parallel N] [-seed N]
+//
+// -exp footprint sweeps fork depth × copy mode and reports the
+// RSS/PSS/USS decomposition of the whole fork chain after each
+// generation — the bytes still shared with ancestors that lazy copy
+// retains and eager copy forfeits.
 //
 // -exp stress (never part of "all") soaks the kernel with the chaos
 // harness: seeded random syscall programs across every copy mode ×
@@ -40,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, stress)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, footprint, stress)")
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
@@ -131,6 +136,12 @@ func main() {
 		rows, err := bench.ForkHist(iters)
 		die(err)
 		fmt.Println(bench.RenderForkHist(rows))
+		ran = true
+	}
+	if want("footprint") {
+		rows, err := bench.Footprint()
+		die(err)
+		fmt.Println(bench.RenderFootprint(rows))
 		ran = true
 	}
 	// The stress soak is explicit-only (not part of -exp all): it is a

@@ -21,6 +21,10 @@
 // -serve starts the live telemetry plane (Prometheus /metrics, JSON
 // /procs, /flight dumps, pprof) and keeps serving after the run finishes
 // so the final state can be scraped.
+//
+// -smaps prints the script μprocess's memory map after the run: per-
+// segment mapped/shared/private pages with the RSS/PSS/USS and shared
+// clean/dirty decomposition, captured just before the process exits.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 func main() {
 	forks := flag.Int("forks", 0, "fork N children that re-run main() on the warm runtime")
 	stats := flag.Bool("stats", false, "print kernel statistics after the run")
+	smaps := flag.Bool("smaps", false, "print the script μprocess's memory map (per-segment RSS/PSS/USS, shared clean/dirty) after the run")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, pprof) on this address; keeps serving after the run until interrupted")
@@ -86,6 +91,7 @@ func main() {
 	})
 
 	var stdout *kernel.Console
+	var smapsText string
 	if _, err := sys.Main(func(p *ufork.Proc) {
 		k := p.Kernel()
 		if of, err := p.FDs.Get(1); err == nil {
@@ -130,6 +136,15 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if *smaps {
+			// Capture inside the μprocess: its mappings are torn down the
+			// moment it exits, so the walk must happen before then.
+			if r, err := k.Smaps(p, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ufork-run: smaps:", err)
+			} else {
+				smapsText = kernel.RenderSmaps(r)
+			}
+		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "[virtual time %v, %d syscalls, %d forks, %d page faults]\n",
 				p.Now(), k.Stats.Syscalls.Value(), k.Stats.Forks.Value(), k.Stats.PageFaults.Value())
@@ -141,6 +156,9 @@ func main() {
 
 	if stdout != nil {
 		os.Stdout.Write(stdout.Out)
+	}
+	if smapsText != "" {
+		fmt.Fprint(os.Stderr, smapsText)
 	}
 	if *tracePath != "" {
 		if err := obs.Default.WriteTraceFile(*tracePath); err != nil {

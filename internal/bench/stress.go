@@ -151,8 +151,11 @@ func renderStressProcs(rows []StressRow) string {
 			fmt.Sprintf("%d/%d/%d/%d", st.FaultCoW, st.FaultCoA, st.FaultCoPA, st.FaultMapped),
 			fmt.Sprint(st.FramesOwned), fmt.Sprint(st.FramesPeak),
 			fmt.Sprint(st.ForkBytesCopied),
+			// The smaps decomposition frozen at each μprocess's end of life:
+			// how much of its final footprint was still shared with the tree.
+			fmt.Sprintf("%d/%d/%d", st.RSSBytes>>10, st.PSSBytes>>10, st.USSBytes>>10),
 		})
 	}
 	return fmt.Sprintf("Per-μprocess frame ownership — top %d of %d procs by peak frames\n", len(shown), len(cells)) +
-		Table([]string{"cell", "pid", "proc", "syscalls", "forks", "cow/coa/copa/map", "owned", "peak", "fork-bytes"}, out)
+		Table([]string{"cell", "pid", "proc", "syscalls", "forks", "cow/coa/copa/map", "owned", "peak", "fork-bytes", "rss/pss/uss-kb"}, out)
 }

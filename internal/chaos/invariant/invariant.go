@@ -84,6 +84,8 @@ func Check(k *kernel.Kernel) error {
 	c.ownership(entries, pages)
 	c.tagPlane()
 	c.pteLegality(entries, procs)
+	c.pssConservation(entries, procs)
+	c.memmapPlane(entries)
 	c.regions(procs)
 	c.procState(procs)
 	if len(c.list) == 0 {
@@ -255,6 +257,78 @@ func (c *checker) pteLegality(entries []walkEntry, procs []*kernel.Proc) {
 		}
 		if e.as == c.k.SharedAS && owner == nil && !c.k.KernelRegion.Contains(va) {
 			c.failf("orphan mapping: vpn %#x mapped in the shared address space but inside no live region", e.vpn)
+		}
+	}
+}
+
+// pssConservation: the proportional-set-size decomposition conserves
+// frames. Every frame reachable from a live μprocess region must have its
+// reference count fully explained by those live mappings (each PTE is a
+// 1/Refs share, so the shares of one frame sum to exactly one frame), and
+// the distinct frames so reachable — plus unmapped shared-memory frames,
+// which the registry roots — must account for every allocated frame.
+// Together these make ΣPSS across live μprocesses equal the live frame
+// population, the conservation law the smaps plane advertises.
+func (c *checker) pssConservation(entries []walkEntry, procs []*kernel.Proc) {
+	if !c.k.Machine.SingleAddressSpace {
+		return
+	}
+	observed := make(map[*vm.Page]int)
+	for _, e := range entries {
+		va := uint64(e.vpn) * vm.PageSize
+		if c.k.KernelRegion.Contains(va) {
+			continue
+		}
+		if ownerOf(procs, e.as, va) == nil {
+			continue // reported as an orphan mapping already
+		}
+		observed[e.pte.Page]++
+	}
+	for page, n := range observed {
+		if page.Refs != n {
+			c.failf("pss conservation: pfn %d split across %d live-μprocess PTEs but Refs=%d — its PSS shares do not sum to one frame",
+				page.PFN, n, page.Refs)
+		}
+	}
+	unmappedShm := 0
+	for _, obj := range c.k.ShmObjects() {
+		for _, page := range obj.Pages() {
+			if page.Refs == 0 {
+				unmappedShm++
+			}
+		}
+	}
+	if got := len(observed) + unmappedShm; got != c.k.Mem.Allocated() {
+		c.failf("pss conservation: ΣPSS accounts for %d distinct frames (+%d unmapped shm) but the allocator holds %d",
+			len(observed), unmappedShm, c.k.Mem.Allocated())
+	}
+}
+
+// memmapPlane: when the memory-provenance plane is armed, its ledger must
+// agree with ground truth frame-for-frame — same live-frame population as
+// the allocator, and per-frame mapping counts equal to the page tables'.
+func (c *checker) memmapPlane(entries []walkEntry) {
+	pl := c.k.Memmap
+	if !pl.On() || !c.k.Machine.SingleAddressSpace {
+		return
+	}
+	if live := pl.LiveFrames(); live != c.k.Mem.Allocated() {
+		c.failf("memmap plane: ledger tracks %d live frames but the allocator holds %d", live, c.k.Mem.Allocated())
+	}
+	counts := make(map[tmem.PFN]int)
+	for _, e := range entries {
+		if e.as == c.k.SharedAS {
+			counts[e.pte.Page.PFN]++
+		}
+	}
+	for pfn, n := range counts {
+		refs, ok := pl.FrameRefs(pfn)
+		if !ok {
+			c.failf("memmap plane: pfn %d is mapped but absent from the ledger", pfn)
+			continue
+		}
+		if refs != n {
+			c.failf("memmap plane: pfn %d has %d PTEs but the ledger records %d references", pfn, n, refs)
 		}
 	}
 }

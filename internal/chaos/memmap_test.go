@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"ufork/internal/core"
+	"ufork/internal/kernel"
+	"ufork/internal/obs/memmap"
+	"ufork/internal/tmem"
+)
+
+// The provenance-plane invariants must have teeth: a kernel that leaks a
+// frame out of the PSS decomposition, or whose plane ledger drifts from
+// ground truth, must be caught by the audit with a named violation.
+
+// TestInvariantCatchesPSSLeak: an allocation that never reaches a page
+// table breaks ΣPSS == live frames.
+func TestInvariantCatchesPSSLeak(t *testing.T) {
+	cfg := Config{Mode: core.CopyOnAccess, Iso: kernel.IsolationFull, Seed: 11,
+		MaxOps: 400, ProgBytes: 1500, CheckEvery: 50}
+	cfg.mutate = func(k *kernel.Kernel) { _, _ = k.Mem.AllocFrame() }
+	_, err := Run(cfg, nil)
+	if err == nil {
+		t.Fatal("kernel leaking a frame passed the audit; pss invariant has no teeth")
+	}
+	if !strings.Contains(err.Error(), "pss conservation") {
+		t.Fatalf("failure does not name the pss conservation law:\n%v", err)
+	}
+}
+
+// TestInvariantCatchesPlaneDrift: a provenance ledger that records a frame
+// the allocator never handed out must be flagged against ground truth.
+func TestInvariantCatchesPlaneDrift(t *testing.T) {
+	cfg := Config{Mode: core.CopyOnPointerAccess, Iso: kernel.IsolationFull, Seed: 12,
+		MaxOps: 400, ProgBytes: 1500, CheckEvery: 50}
+	cfg.mutate = func(k *kernel.Kernel) {
+		k.Memmap.OnAlloc(tmem.PFN(1<<20), 1, 0, memmap.OriginUnknown)
+	}
+	_, err := Run(cfg, nil)
+	if err == nil {
+		t.Fatal("kernel with a drifted provenance ledger passed the audit")
+	}
+	if !strings.Contains(err.Error(), "memmap plane") {
+		t.Fatalf("failure does not name the memmap plane cross-check:\n%v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ufork/internal/kernel"
 	"ufork/internal/model"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/memmap"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
 )
@@ -134,6 +135,16 @@ func Run(cfg Config, prog []byte) (Result, error) {
 		Frames:    cfg.Frames,
 		Flight:    fr,
 	})
+	// Arm the memory-provenance plane before the first allocation: the
+	// invariant audit cross-checks its ledger against the page tables and
+	// the allocator, so coverage must be complete from frame zero. If the
+	// live telemetry server already armed one (kernel.TrackNew fires
+	// inside kernel.New), keep it — /memmap then shows the soak live.
+	if k.Memmap == nil {
+		pl := memmap.New()
+		pl.Enable()
+		k.ArmMemmap(pl)
+	}
 	h := &harness{cfg: cfg, k: k, opsLeft: cfg.MaxOps, live: 1, maxLive: 1}
 	in := NewInjector(cfg.Seed, cfg.Plan)
 	h.in = in
@@ -771,6 +782,16 @@ func (ps *procState) signal() {
 // capability are verified against the shadow.
 func (ps *procState) finish() {
 	ps.h.k.Getpid(ps.p) // flush pending signal deliveries
+	// Refresh the smaps gauges so the end-of-life ProcStat snapshot carries
+	// this μprocess's final footprint, and sanity-check the decomposition.
+	if r, err := ps.h.k.Smaps(ps.p, 0); err != nil {
+		if !tolerable(err) {
+			ps.h.failf("pid %d: smaps: %v", ps.p.PID, err)
+		}
+	} else if r.Total.USSBytes > r.Total.PSSBytes || r.Total.PSSBytes > r.Total.RSSBytes {
+		ps.h.failf("pid %d: smaps ordering violated: uss=%d pss=%d rss=%d",
+			ps.p.PID, r.Total.USSBytes, r.Total.PSSBytes, r.Total.RSSBytes)
+	}
 	if ps.sh.sigGot != ps.sh.sigSent {
 		ps.h.failf("pid %d: signal divergence: delivered %d of %d sent", ps.p.PID, ps.sh.sigGot, ps.sh.sigSent)
 	}

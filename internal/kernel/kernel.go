@@ -22,6 +22,7 @@ import (
 	"ufork/internal/model"
 	"ufork/internal/obs"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -299,6 +300,20 @@ type Kernel struct {
 	// and may fail them with an injected error (ENOMEM/EINTR storms). Set
 	// by the chaos harness (internal/chaos); nil in production.
 	Chaos SyscallFailer
+
+	// Memmap, when non-nil, is the armed memory-provenance plane
+	// (internal/obs/memmap): frame lineage, per-μprocess mapping sets, and
+	// the fork-tree sharing view. Armed via ArmMemmap before the simulation
+	// runs; nil in production.
+	Memmap *memmap.Plane
+	// memPhase classifies the kernel activity frames allocated right now
+	// should be attributed to (image load, eager fork copy, fault
+	// resolution, shm). Written only from the simulation goroutine.
+	memPhase memmap.Origin
+	// forkChild is the child Proc under construction while a fork engine
+	// runs — not yet in the process table, but already receiving region
+	// mappings that the provenance plane must attribute to it.
+	forkChild *Proc
 }
 
 // SyscallFailer is the syscall-level fault-injection hook: it returns a
@@ -376,6 +391,21 @@ func New(cfg Config) *Kernel {
 	// on the simulation goroutine — parallel fork workers copy into frames
 	// allocated before the fan-out — so curPID is stable here.
 	k.Mem.SetFrameObserver(func(alloc bool, pfn tmem.PFN) {
+		if pl := k.Memmap; pl.On() {
+			if alloc {
+				pid, gen := k.curPID, 0
+				if c := k.forkChild; c != nil {
+					// Eager fork copies run on the parent's behalf but
+					// materialize the child's image.
+					pid, gen = c.PID, c.Gen
+				} else if p, ok := k.procs[pid]; ok {
+					gen = p.Gen
+				}
+				pl.OnAlloc(pfn, int32(pid), gen, k.memPhase)
+			} else {
+				pl.OnFree(pfn)
+			}
+		}
 		if !k.Flight.On() {
 			return
 		}
@@ -407,6 +437,67 @@ func New(cfg Config) *Kernel {
 		TrackNew(k)
 	}
 	return k
+}
+
+// ArmMemmap attaches the memory-provenance plane to this kernel: the plane
+// is reset (frame numbers restart per kernel), the shared address space's
+// mutation stream is routed into it, and frame copies feed lineage. Must
+// run before the simulation allocates frames — the invariant checker
+// cross-checks the plane against the allocator, so a late arm would
+// miscount. The telemetry server and the chaos harness both arm planes;
+// production kernels leave Memmap nil and pay only nil checks.
+func (k *Kernel) ArmMemmap(pl *memmap.Plane) {
+	pl.Reset()
+	k.Memmap = pl
+	if k.SharedAS != nil {
+		k.SharedAS.SetObserver(memObserver{k})
+	}
+	k.Mem.SetCopyObserver(func(dst, src tmem.PFN) { k.Memmap.OnCopy(dst, src) })
+}
+
+// memObserver routes shared-address-space page-table mutations into the
+// provenance plane, resolving each VPN to the μprocess whose region holds
+// it. Runs on the simulation goroutine.
+type memObserver struct{ k *Kernel }
+
+// pidFor resolves a virtual page to its owning μprocess: the in-flight
+// fork child first (its mappings appear before it joins the process
+// table), then live processes, then zombies — a released region may be
+// reused while its previous owner is still unreaped, so live wins and the
+// newest zombie breaks ties.
+func (o memObserver) pidFor(vpn vm.VPN) int32 {
+	va := uint64(vpn) * PageSize
+	k := o.k
+	if c := k.forkChild; c != nil && c.Region.Contains(va) {
+		return int32(c.PID)
+	}
+	zombie := int32(0)
+	for _, p := range k.procs {
+		if !p.Region.Contains(va) {
+			continue
+		}
+		if !p.exited {
+			return int32(p.PID)
+		}
+		if int32(p.PID) > zombie {
+			zombie = int32(p.PID)
+		}
+	}
+	return zombie
+}
+
+func (o memObserver) OnMap(vpn vm.VPN, page *vm.Page) {
+	o.k.Memmap.OnMap(o.pidFor(vpn), page.PFN)
+}
+
+func (o memObserver) OnUnmap(vpn vm.VPN, page *vm.Page) {
+	o.k.Memmap.OnUnmap(o.pidFor(vpn), page.PFN)
+}
+
+func (o memObserver) OnReplace(vpn vm.VPN, old, new *vm.Page) {
+	pid := o.pidFor(vpn)
+	o.k.Memmap.OnUnmap(pid, old.PFN)
+	o.k.Memmap.OnMap(pid, new.PFN)
 }
 
 // VFS returns the kernel's file system.
@@ -455,13 +546,14 @@ func (k *Kernel) Spawn(spec ProgramSpec, start sim.Time, entry func(*Proc)) (*Pr
 
 // startProc attaches a sim task to a fully constructed Proc.
 func (k *Kernel) startProc(p *Proc, start sim.Time, entry func(*Proc)) {
+	parent := PID(0)
+	if p.Parent != nil {
+		parent = p.Parent.PID
+	}
 	if k.Flight.On() {
-		parent := PID(0)
-		if p.Parent != nil {
-			parent = p.Parent.PID
-		}
 		k.Flight.Emit(uint64(start), int32(p.PID), flight.KindProcSpawn, uint64(parent), 0, 0)
 	}
+	k.Memmap.OnSpawn(int32(p.PID), int32(parent), p.Spec.Name, p.Gen)
 	if obs.On() {
 		k.Obs.Tracer.SetProcName(int(p.PID), fmt.Sprintf("%s[%d]", p.Spec.Name, p.PID))
 	}
@@ -507,11 +599,16 @@ func (k *Kernel) terminate(p *Proc, status int) {
 	}
 	k.curPID = p.PID
 	p.FDs.CloseAll(k, p)
+	// Freeze the final memory footprint into the accounting gauges before
+	// the image is unmapped: the reaped ProcStat snapshot then reports the
+	// RSS/PSS/USS the process died with rather than zeros.
+	k.refreshMemStats(p)
 	// Release the μprocess memory image. Shared frames survive through
 	// their reference counts; private frames are freed.
 	if err := p.AS.UnmapRange(p.Region.Base, p.Region.Size); err != nil {
 		panic("kernel: exit unmap: " + err.Error())
 	}
+	k.Memmap.OnExit(int32(p.PID))
 	// Its image is gone: release the process's frame-ownership charge so
 	// live /procs views and the stress-soak breakdown see exited processes
 	// drop to zero instead of leaking attribution.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ufork/internal/cap"
+	"ufork/internal/obs/memmap"
 	"ufork/internal/vm"
 )
 
@@ -195,6 +196,8 @@ func (k *Kernel) load(spec ProgramSpec) (*Proc, error) {
 	// monolithic baseline, whose fault handler maps heap pages on first
 	// touch.
 	imagePages := 0
+	phase0 := k.memPhase
+	k.memPhase = memmap.OriginImage
 	for s := Segment(0); s < numSegments; s++ {
 		if s == SegHeap && k.Machine.DemandPagedHeap {
 			continue
@@ -203,11 +206,13 @@ func (k *Kernel) load(spec ProgramSpec) (*Proc, error) {
 		for i := 0; i < layout.Pages[s]; i++ {
 			va := base + uint64(i)*PageSize
 			if _, err := as.MapNew(vm.VPNOf(va), s.NaturalProt()); err != nil {
+				k.memPhase = phase0
 				return nil, fmt.Errorf("kernel: load %s %v page %d: %w", spec.Name, s, i, err)
 			}
 			imagePages++
 		}
 	}
+	k.memPhase = phase0
 	p.Acct.chargeFrames(int64(imagePages))
 
 	p.initCaps()

@@ -7,6 +7,7 @@ import (
 	"ufork/internal/cap"
 	"ufork/internal/obs"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -75,6 +76,10 @@ type Proc struct {
 	// Acct is the per-μprocess accounting block (procfs-style counters the
 	// ProcStat API, SYS_PROCSTAT, and the telemetry server snapshot live).
 	Acct Accounting
+
+	// Gen is the fork generation: 0 for a loaded root, parent's Gen+1 for
+	// a forked child. The provenance plane stamps frame lineage with it.
+	Gen int
 
 	// Forked counts forks performed by this process.
 	Forked int
@@ -145,12 +150,22 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		}
 		// Taking the fault costs a trap + handler dispatch.
 		p.Task.Advance(p.k.Machine.PageFault)
+		// Snapshot the faulting page's frame before the handler runs: if
+		// the resolution breaks sharing, this is the ancestor frame the
+		// owner-change event points back at.
+		oldPFN := tmem.NoFrame
+		if pte := p.AS.Lookup(vm.VPNOf(fault.VA)); pte != nil {
+			oldPFN = pte.Page.PFN
+		}
 		// Snapshot the address-space copy counters around the handler: the
 		// deltas classify the resolution outcome (CoW copy / CoA adopt /
 		// CoPA relocation) without knowing which engine ran.
 		st := &p.AS.Stats
 		copied0, adopted0, relocs0 := st.PagesCopied.Value(), st.PagesAdopted.Value(), st.CapsRelocated.Value()
+		phase0 := p.k.memPhase
+		p.k.memPhase = memmap.OriginDemand
 		err := p.k.Engine.HandleFault(p.k, p, fault, acc)
+		p.k.memPhase = phase0
 		sp.End(uint64(p.Task.Now()), obs.A("va", fault.VA))
 		if err != nil {
 			// Double-wrap so errors.Is sees both the segfault and the
@@ -160,19 +175,50 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		copied := st.PagesCopied.Value() - copied0
 		adopted := st.PagesAdopted.Value() - adopted0
 		relocs := st.CapsRelocated.Value() - relocs0
+		mode := uint64(0) // KindFrameOwnerChange mode: 1=CoW 2=CoA 3=CoPA
 		switch {
 		case relocs > 0:
 			p.Acct.FaultCoPA.Inc()
+			mode = 3
 		case copied > 0:
 			p.Acct.FaultCoW.Inc()
+			mode = 1
 		case adopted > 0:
 			p.Acct.FaultCoA.Inc()
+			mode = 2
 		default:
 			p.Acct.FaultMapped.Inc()
 			if fault.Kind == vm.FaultNotMapped {
 				// Demand map: the handler mapped one fresh frame (the
 				// monolithic baseline's demand-paged heap).
 				p.Acct.chargeFrames(1)
+			}
+		}
+		if mode != 0 {
+			// The resolution broke sharing: the faulting page's frame is now
+			// exclusively owned by p (a fresh copy for CoW/CoPA, the adopted
+			// last reference for CoA). Record who broke sharing and why.
+			newPFN := oldPFN
+			if pte := p.AS.Lookup(vm.VPNOf(fault.VA)); pte != nil {
+				newPFN = pte.Page.PFN
+			}
+			if pl := p.k.Memmap; pl.On() {
+				if copied > 0 && newPFN != oldPFN {
+					origin := memmap.OriginCoW
+					if mode == 3 {
+						origin = memmap.OriginCoPA
+					}
+					pl.Reclassify(newPFN, origin)
+				}
+				pl.OwnerChange(newPFN, int32(p.PID), p.Gen)
+			}
+			if p.k.Flight.On() {
+				old := uint64(newPFN)
+				if oldPFN != tmem.NoFrame {
+					old = uint64(oldPFN)
+				}
+				p.k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID),
+					flight.KindFrameOwnerChange, uint64(newPFN), mode, old)
 			}
 		}
 		p.Acct.FaultCapsRelocated.Add(relocs)

@@ -50,6 +50,20 @@ type Accounting struct {
 
 	// PeakBrkPages is the high-water heap watermark Sbrk ever reached.
 	PeakBrkPages obs.Gauge
+
+	// Memory-footprint gauges (the smaps plane): RSS is every mapped page,
+	// PSS divides shared pages by their mapping count, USS is exclusively
+	// mapped pages, and the shared split separates never-writable image
+	// pages (clean) from fork-inherited writable pages (dirty).
+	// PendingPages counts pages still awaiting capability relocation.
+	// Refreshed by SYS_SMAPS walks, after forks while the provenance plane
+	// is armed, and frozen at exit just before the image is unmapped.
+	RSSBytes         obs.Gauge
+	PSSBytes         obs.Gauge
+	USSBytes         obs.Gauge
+	SharedCleanBytes obs.Gauge
+	SharedDirtyBytes obs.Gauge
+	PendingPages     obs.Gauge
 }
 
 // chargeFrames adjusts the owned-frame attribution by d frames and tracks
@@ -96,6 +110,15 @@ type ProcStat struct {
 
 	PeakBrkPages int64 `json:"peak_brk_pages"`
 
+	// smaps aggregates, as of the last SYS_SMAPS walk (or exit, for a
+	// reaped snapshot — the footprint the process died with).
+	RSSBytes         int64 `json:"rss_bytes"`
+	PSSBytes         int64 `json:"pss_bytes"`
+	USSBytes         int64 `json:"uss_bytes"`
+	SharedCleanBytes int64 `json:"shared_clean_bytes"`
+	SharedDirtyBytes int64 `json:"shared_dirty_bytes"`
+	PendingPages     int64 `json:"pending_pages"`
+
 	// Exited marks a snapshot taken at reap time: the process is gone
 	// from the live table and the stats are final.
 	Exited bool `json:"exited,omitempty"`
@@ -126,6 +149,13 @@ func (p *Proc) Stat() ProcStat {
 		FaultCapsRelocated: a.FaultCapsRelocated.Value(),
 
 		PeakBrkPages: a.PeakBrkPages.Value(),
+
+		RSSBytes:         a.RSSBytes.Value(),
+		PSSBytes:         a.PSSBytes.Value(),
+		USSBytes:         a.USSBytes.Value(),
+		SharedCleanBytes: a.SharedCleanBytes.Value(),
+		SharedDirtyBytes: a.SharedDirtyBytes.Value(),
+		PendingPages:     a.PendingPages.Value(),
 	}
 	if p.Parent != nil {
 		st.PPID = int(p.Parent.PID)

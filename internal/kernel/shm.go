@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ufork/internal/obs/memmap"
 	"ufork/internal/vm"
 )
 
@@ -33,13 +34,17 @@ func (k *Kernel) ShmOpen(p *Proc, name string, pages int) (*ShmObject, error) {
 		return obj, nil
 	}
 	obj := &ShmObject{Name: name}
+	phase0 := k.memPhase
+	k.memPhase = memmap.OriginShm
 	for i := 0; i < pages; i++ {
 		pfn, err := k.Mem.AllocFrame()
 		if err != nil {
+			k.memPhase = phase0
 			return nil, err
 		}
 		obj.pages = append(obj.pages, &vm.Page{PFN: pfn})
 	}
+	k.memPhase = phase0
 	k.shm.objects[name] = obj
 	return obj, nil
 }

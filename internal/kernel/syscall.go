@@ -6,6 +6,7 @@ import (
 	"ufork/internal/cap"
 	"ufork/internal/obs"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
 )
 
@@ -146,14 +147,24 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 		Spec:       p.Spec,
 		Layout:     p.Layout,
 		Parent:     p,
+		Gen:        p.Gen + 1,
 		OriginBase: p.Region.Base,
 		BrkPages:   p.BrkPages,
 	}
+	// While the engine runs, frames it allocates are eager fork copies
+	// attributed to the child — which is not yet in the process table, so
+	// the provenance plane resolves its region through forkChild.
+	k.forkChild = child
+	phase0 := k.memPhase
+	k.memPhase = memmap.OriginEager
 	stats, err := k.Engine.Fork(k, p, child)
+	k.memPhase = phase0
 	if err != nil {
 		k.abortFork(p, child)
+		k.forkChild = nil
 		return 0, err
 	}
+	k.forkChild = nil
 	// Kernel-side duplication common to every engine: descriptor table and
 	// task struct (§4.5 "per-process kernel state").
 	child.FDs = p.FDs.Dup()
@@ -173,6 +184,12 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	p.Acct.ForkCapsRelocated.Add(uint64(stats.CapsRelocated))
 	child.Acct.chargeFrames(int64(copiedPages))
 	child.Acct.noteBrk(child.BrkPages)
+	if k.Memmap.On() {
+		// The fork redrew both sides' sharing picture; refresh their smaps
+		// gauges so live /procs views show the post-fork footprint.
+		k.refreshMemStats(p)
+		k.refreshMemStats(child)
+	}
 
 	if k.Flight.On() {
 		k.Flight.Emit(uint64(forkStart+stats.Latency), int32(p.PID), flight.KindForkDone,

@@ -35,6 +35,7 @@ const (
 	SysShmMap
 	SysShmUnlink
 	SysProcstat
+	SysSmaps
 	// NumSysNos sizes per-syscall counter arrays.
 	NumSysNos
 )
@@ -67,6 +68,7 @@ var sysNames = [NumSysNos]string{
 	SysShmMap:     "shm-map",
 	SysShmUnlink:  "shm-unlink",
 	SysProcstat:   "procstat",
+	SysSmaps:      "smaps",
 }
 
 func (n SysNo) String() string {

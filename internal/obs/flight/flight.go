@@ -64,14 +64,23 @@ const (
 	// KindMark is a harness annotation (e.g. a chaos invariant audit).
 	// Args: caller-defined.
 	KindMark
+	// KindFrameOwnerChange is a CoW/CoA/CoPA sharing break that transferred
+	// exclusive frame ownership to the faulting μprocess. Args: the frame
+	// now exclusively owned, the break mode (1=CoW, 2=CoA, 3=CoPA), and the
+	// shared ancestor frame the owner split from (equal to the owned frame
+	// for an in-place CoA adoption).
+	KindFrameOwnerChange
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"syscall", "sysret", "fork-start", "fork-done", "fault", "fault-done",
 	"frame-alloc", "frame-free", "ctx-switch", "proc-spawn", "proc-exit",
-	"mark",
+	"mark", "frame-owner",
 }
+
+// ownerChangeModes decodes KindFrameOwnerChange's mode argument.
+var ownerChangeModes = [...]string{"?", "cow", "coa", "copa"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -117,6 +126,12 @@ func (e Event) Format() string {
 		return fmt.Sprintf("%12d  pid=%-3d proc-exit   status=%d", e.TS, e.PID, e.Args[0])
 	case KindMark:
 		return fmt.Sprintf("%12d  pid=%-3d mark        a0=%d a1=%d a2=%d", e.TS, e.PID, e.Args[0], e.Args[1], e.Args[2])
+	case KindFrameOwnerChange:
+		mode := "?"
+		if e.Args[1] < uint64(len(ownerChangeModes)) {
+			mode = ownerChangeModes[e.Args[1]]
+		}
+		return fmt.Sprintf("%12d  pid=%-3d frame-owner pfn=%d mode=%s from=%d", e.TS, e.PID, e.Args[0], mode, e.Args[2])
 	default:
 		return fmt.Sprintf("%12d  pid=%-3d %v a0=%d a1=%d a2=%d", e.TS, e.PID, e.Kind, e.Args[0], e.Args[1], e.Args[2])
 	}

@@ -9,6 +9,7 @@ import (
 
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
+	"ufork/internal/obs/memmap"
 )
 
 // Exposition bundles the data sources /metrics renders: an obs registry
@@ -20,6 +21,11 @@ type Exposition struct {
 	Snap  obs.Snapshot
 	Hists map[string]*obs.Histogram
 	Procs []kernel.ProcStat
+
+	// Memmap, when non-nil, adds the ufork_memmap_* families from a
+	// memory-provenance plane snapshot. Nil renders nothing, keeping
+	// expositions from plane-less runs byte-identical to before.
+	Memmap *memmap.Snapshot
 
 	FlightSeq     uint64
 	FlightDropped uint64
@@ -75,6 +81,7 @@ func WriteMetrics(w io.Writer, e Exposition) error {
 	}
 
 	writeProcMetrics(bw, e.Procs)
+	writeMemmapMetrics(bw, e.Memmap)
 
 	fmt.Fprintf(bw, "# HELP ufork_flight_events_total flight-recorder events emitted\n"+
 		"# TYPE ufork_flight_events_total counter\nufork_flight_events_total %d\n", e.FlightSeq)
@@ -127,6 +134,56 @@ func writeProcMetrics(bw *bufio.Writer, procs []kernel.ProcStat) {
 	family("ufork_proc_peak_brk_pages", "gauge", "peak heap watermark in pages", func(p kernel.ProcStat) {
 		fmt.Fprintf(bw, "ufork_proc_peak_brk_pages{pid=\"%d\",proc=%q} %d\n", p.PID, p.Name, p.PeakBrkPages)
 	})
+}
+
+// writeMemmapMetrics renders the memory-provenance families: live-frame
+// population by materialization origin, exclusive-ownership transfers,
+// and the per-μprocess RSS/PSS/USS decomposition of the fork tree.
+func writeMemmapMetrics(bw *bufio.Writer, m *memmap.Snapshot) {
+	if m == nil {
+		return
+	}
+	fmt.Fprintf(bw, "# HELP ufork_memmap_frames_live physical frames currently tracked by the provenance plane\n"+
+		"# TYPE ufork_memmap_frames_live gauge\nufork_memmap_frames_live %d\n", m.LiveFrames)
+	origins := make([]string, 0, len(m.LiveByOrigin))
+	for o := range m.LiveByOrigin {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	fmt.Fprintf(bw, "# HELP ufork_memmap_frames_by_origin live frames by the copy path that materialized them\n"+
+		"# TYPE ufork_memmap_frames_by_origin gauge\n")
+	for _, o := range origins {
+		fmt.Fprintf(bw, "ufork_memmap_frames_by_origin{origin=%q} %d\n", o, m.LiveByOrigin[o])
+	}
+	origins = origins[:0]
+	for o := range m.AllocsByOrigin {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	fmt.Fprintf(bw, "# HELP ufork_memmap_allocs_by_origin_total frame allocations by materializing copy path\n"+
+		"# TYPE ufork_memmap_allocs_by_origin_total counter\n")
+	for _, o := range origins {
+		fmt.Fprintf(bw, "ufork_memmap_allocs_by_origin_total{origin=%q} %d\n", o, m.AllocsByOrigin[o])
+	}
+	fmt.Fprintf(bw, "# HELP ufork_memmap_owner_changes_total CoW/CoA/CoPA breaks that transferred exclusive frame ownership\n"+
+		"# TYPE ufork_memmap_owner_changes_total counter\nufork_memmap_owner_changes_total %d\n", m.OwnerChanges)
+	if len(m.Procs) == 0 {
+		return
+	}
+	family := func(name, help string, value func(memmap.ProcNode) uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, p := range m.Procs {
+			fmt.Fprintf(bw, "%s{pid=\"%d\",proc=%q} %d\n", name, p.PID, p.Name, value(p))
+		}
+	}
+	family("ufork_memmap_proc_rss_bytes", "resident set: bytes of mapped frames",
+		func(p memmap.ProcNode) uint64 { return p.RSSBytes })
+	family("ufork_memmap_proc_pss_bytes", "proportional set: resident bytes with shared frames split across mappers",
+		func(p memmap.ProcNode) uint64 { return p.PSSBytes })
+	family("ufork_memmap_proc_uss_bytes", "unique set: bytes only this process maps",
+		func(p memmap.ProcNode) uint64 { return p.USSBytes })
+	family("ufork_memmap_proc_shared_pages", "pages shared with at least one other mapper",
+		func(p memmap.ProcNode) uint64 { return uint64(p.SharedPages) })
 }
 
 // sanitize maps an obs metric name (dot/dash separated) onto the

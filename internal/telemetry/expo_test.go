@@ -10,6 +10,7 @@ import (
 
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
+	"ufork/internal/obs/memmap"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -107,6 +108,44 @@ func TestExpositionHistogramCumulative(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestMemmapExpositionLintClean: the ufork_memmap_* families must render
+// lint-clean alongside everything else, and a nil Memmap must leave the
+// exposition byte-identical to the plane-less rendering (the golden file
+// pins that case separately).
+func TestMemmapExpositionLintClean(t *testing.T) {
+	e := fixedExposition()
+	e.Memmap = &memmap.Snapshot{
+		LiveFrames:     3,
+		LiveByOrigin:   map[string]int{"image": 2, "cow": 1},
+		AllocsByOrigin: map[string]uint64{"image": 2, "cow": 4},
+		OwnerChanges:   4,
+		Procs: []memmap.ProcNode{
+			{PID: 1, Name: "init", RSSBytes: 8192, PSSBytes: 6144, USSBytes: 4096, SharedPages: 1, Children: []int32{2}},
+			{PID: 2, PPID: 1, Name: `kid "z"`, Gen: 1, RSSBytes: 4096, PSSBytes: 2048, SharedPages: 1},
+		},
+	}
+	var b bytes.Buffer
+	if err := WriteMetrics(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ufork_memmap_frames_live 3",
+		`ufork_memmap_frames_by_origin{origin="cow"} 1`,
+		`ufork_memmap_allocs_by_origin_total{origin="image"} 2`,
+		"ufork_memmap_owner_changes_total 4",
+		`ufork_memmap_proc_pss_bytes{pid="2",proc="kid \"z\""} 2048`,
+		`ufork_memmap_proc_shared_pages{pid="1",proc="init"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("memmap exposition fails lint: %v", errs)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/memmap"
 )
 
 // Server serves the telemetry endpoints. Construct with New; all handlers
@@ -26,14 +27,17 @@ import (
 type Server struct {
 	obs *obs.Obs
 	fr  *flight.Recorder
+	pl  *memmap.Plane
 	cur atomic.Pointer[kernel.Kernel]
+	ln  net.Listener
 
 	// Addr is the bound listen address, set by Start (useful with ":0").
 	Addr string
 }
 
 // New creates a server over the given observability handle and flight
-// recorder (nil selects the process-wide defaults).
+// recorder (nil selects the process-wide defaults). The server owns a
+// memory-provenance plane; Track arms it on each kernel it adopts.
 func New(o *obs.Obs, fr *flight.Recorder) *Server {
 	if o == nil {
 		o = obs.Default
@@ -41,13 +45,22 @@ func New(o *obs.Obs, fr *flight.Recorder) *Server {
 	if fr == nil {
 		fr = flight.Default
 	}
-	return &Server{obs: o, fr: fr}
+	pl := memmap.New()
+	pl.Enable()
+	return &Server{obs: o, fr: fr, pl: pl}
 }
 
-// Track makes k the kernel /procs and per-proc /metrics families reflect.
-// Installed as kernel.TrackNew by Start so bench runs that boot many
-// kernels always expose the current one.
-func (s *Server) Track(k *kernel.Kernel) { s.cur.Store(k) }
+// Track makes k the kernel /procs and per-proc /metrics families reflect,
+// and arms the provenance plane on it — kernels register through
+// kernel.TrackNew at construction, before their first frame allocation,
+// so the plane's ledger is complete. Installed by Start so bench runs
+// that boot many kernels always expose the current one.
+func (s *Server) Track(k *kernel.Kernel) {
+	s.cur.Store(k)
+	if k != nil && k.Mem != nil {
+		k.ArmMemmap(s.pl)
+	}
+}
 
 func (s *Server) procs() []kernel.ProcStat {
 	if k := s.cur.Load(); k != nil {
@@ -63,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/procs", s.handleProcs)
+	mux.HandleFunc("/memmap", s.handleMemmap)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -81,6 +95,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `ufork telemetry
   /metrics        Prometheus text exposition (obs registry + per-proc accounting)
   /procs          per-μprocess accounting, JSON
+  /memmap         fork-tree memory provenance: per-node RSS/PSS/USS, frame lineage (?frames=256)
   /flight         flight-recorder tail (?n=64, ?format=text|chrome)
   /debug/pprof/   host-process profiling
 `)
@@ -88,13 +103,41 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = WriteMetrics(w, Exposition{
+	e := Exposition{
 		Snap:          s.obs.Reg.Snapshot(),
 		Hists:         s.obs.Reg.Histograms(),
 		Procs:         s.procs(),
 		FlightSeq:     s.fr.Seq(),
 		FlightDropped: s.fr.Dropped(),
-	})
+	}
+	if s.pl.On() {
+		snap := s.pl.Snapshot(0)
+		e.Memmap = &snap
+	}
+	_ = WriteMetrics(w, e)
+}
+
+// handleMemmap serves the provenance plane's fork-tree snapshot: live
+// frames by origin, per-μprocess RSS/PSS/USS with child links, and a
+// bounded per-frame lineage sample (?frames=N, default 256).
+func (s *Server) handleMemmap(w http.ResponseWriter, r *http.Request) {
+	maxFrames := 256
+	if q := r.URL.Query().Get("frames"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad frames", http.StatusBadRequest)
+			return
+		}
+		maxFrames = v
+	}
+	snap := s.pl.Snapshot(maxFrames)
+	if snap.Procs == nil {
+		snap.Procs = []memmap.ProcNode{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
 }
 
 func (s *Server) handleProcs(w http.ResponseWriter, _ *http.Request) {
@@ -141,6 +184,17 @@ func Start(addr string) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	s.Addr = ln.Addr().String()
+	s.ln = ln
 	go func() { _ = http.Serve(ln, s.Handler()) }()
 	return s, nil
+}
+
+// Close releases the server's listener so its address can be rebound.
+// In-flight requests race the close as usual for http.Serve; tests that
+// recycle fixed ports must Close the previous server first.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
 }

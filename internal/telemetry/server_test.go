@@ -11,6 +11,7 @@ import (
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/memmap"
 )
 
 // testServer builds a Server over private obs + flight state with a few
@@ -136,6 +137,137 @@ func TestIndexAndNotFound(t *testing.T) {
 	if res.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown path status = %d, want 404", res.StatusCode)
 	}
+}
+
+// TestMemmapEndpoint populates the server's provenance plane and checks
+// the /memmap JSON: fork-tree nodes with RSS/PSS/USS, child links, origin
+// breakdown, and the bounded frame-lineage sample.
+func TestMemmapEndpoint(t *testing.T) {
+	s := testServer()
+	s.pl.OnSpawn(1, 0, "init", 0)
+	s.pl.OnSpawn(2, 1, "child", 1)
+	s.pl.OnAlloc(5, 1, 0, memmap.OriginImage)
+	s.pl.OnMap(1, 5) // shared by both after fork
+	s.pl.OnMap(2, 5)
+	s.pl.OnAlloc(6, 2, 1, memmap.OriginCoW)
+	s.pl.OnCopy(6, 5)
+	s.pl.OnMap(2, 6)
+
+	res, body := get(t, s.Handler(), "/memmap")
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap memmap.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if snap.LiveFrames != 2 {
+		t.Fatalf("live_frames = %d, want 2", snap.LiveFrames)
+	}
+	if snap.LiveByOrigin["image"] != 1 || snap.LiveByOrigin["cow"] != 1 {
+		t.Fatalf("live_by_origin = %v", snap.LiveByOrigin)
+	}
+	if len(snap.Procs) != 2 || snap.Procs[0].PID != 1 || snap.Procs[1].PID != 2 {
+		t.Fatalf("procs = %+v", snap.Procs)
+	}
+	pg := uint64(4096)
+	if root := snap.Procs[0]; root.RSSBytes != pg || root.PSSBytes != pg/2 || root.USSBytes != 0 {
+		t.Fatalf("root rss/pss/uss = %d/%d/%d", root.RSSBytes, root.PSSBytes, root.USSBytes)
+	}
+	if child := snap.Procs[1]; child.RSSBytes != 2*pg || child.PSSBytes != pg+pg/2 || child.USSBytes != pg {
+		t.Fatalf("child rss/pss/uss = %d/%d/%d", child.RSSBytes, child.PSSBytes, child.USSBytes)
+	}
+	if len(snap.Procs[0].Children) != 1 || snap.Procs[0].Children[0] != 2 {
+		t.Fatalf("root children = %v", snap.Procs[0].Children)
+	}
+	found := false
+	for _, f := range snap.Frames {
+		if f.PFN == 6 && f.Origin == "cow" && f.Parent == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("frame lineage missing pfn 6 ← 5 (cow): %+v", snap.Frames)
+	}
+
+	// ?frames=0 omits the lineage sample; a bad value is a 400.
+	_, body = get(t, s.Handler(), "/memmap?frames=0")
+	snap = memmap.Snapshot{}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || len(snap.Frames) != 0 {
+		t.Fatalf("?frames=0 still samples frames: %v %+v", err, snap.Frames)
+	}
+	if res, _ := get(t, s.Handler(), "/memmap?frames=bogus"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad frames param status = %d, want 400", res.StatusCode)
+	}
+}
+
+// TestMemmapEndpointEmpty: an idle plane serves a well-formed, non-null
+// document.
+func TestMemmapEndpointEmpty(t *testing.T) {
+	_, body := get(t, testServer().Handler(), "/memmap")
+	var snap struct {
+		Procs []memmap.ProcNode `json:"procs"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if snap.Procs == nil || !strings.Contains(body, `"procs": []`) {
+		t.Fatalf("idle /memmap procs must be an empty array, not null:\n%s", body)
+	}
+}
+
+// TestMetricsIncludesMemmap: a populated plane surfaces through /metrics
+// as the ufork_memmap_* families, and the result still lints clean.
+func TestMetricsIncludesMemmap(t *testing.T) {
+	s := testServer()
+	s.pl.OnSpawn(1, 0, "init", 0)
+	s.pl.OnAlloc(9, 1, 0, memmap.OriginEager)
+	s.pl.OnMap(1, 9)
+	_, body := get(t, s.Handler(), "/metrics")
+	for _, want := range []string{
+		"ufork_memmap_frames_live 1",
+		`ufork_memmap_frames_by_origin{origin="eager"} 1`,
+		`ufork_memmap_proc_rss_bytes{pid="1",proc="init"} 4096`,
+		`ufork_memmap_proc_uss_bytes{pid="1",proc="init"} 4096`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+	if errs := Lint(strings.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("/metrics with memmap families fails lint: %v", errs)
+	}
+}
+
+// TestCloseReleasesAddr: binding an address twice must fail with an error
+// returned to the caller (not a background panic), and Close must release
+// the address for rebinding.
+func TestCloseReleasesAddr(t *testing.T) {
+	defer obs.Disable()
+	defer flight.Default.Disable()
+	defer func() { kernel.TrackNew = nil }()
+	s1, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(s1.Addr); err == nil {
+		t.Fatalf("second bind of %s succeeded, want address-in-use error", s1.Addr)
+	} else if !strings.Contains(err.Error(), s1.Addr) {
+		t.Fatalf("bind error does not name the address: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Start(s1.Addr)
+	if err != nil {
+		t.Fatalf("rebind after Close: %v", err)
+	}
+	defer s2.Close()
+	resp, err := http.Get("http://" + s2.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape after rebind: %v", err)
+	}
+	resp.Body.Close()
 }
 
 // TestStartServesLive binds a real listener on :0 and scrapes it — the

@@ -125,6 +125,11 @@ type Memory struct {
 	// allocation and free (flight-recorder wiring). tmem has no clock or
 	// process notion, so the kernel closure supplies both.
 	observer func(alloc bool, pfn PFN)
+	// copyObserver, when non-nil, is called after every CopyFrame
+	// (provenance-plane lineage wiring). Unlike the alloc/free observer it
+	// MUST be safe for concurrent use: fork eager copies fan out across
+	// host worker goroutines.
+	copyObserver func(dst, src PFN)
 }
 
 // New creates a memory bank with the given number of physical frames.
@@ -195,6 +200,12 @@ func (m *Memory) alloc(zero bool) (PFN, error) {
 // Allocation is confined to the simulation goroutine, so the observer need
 // not be safe for concurrent use.
 func (m *Memory) SetFrameObserver(fn func(alloc bool, pfn PFN)) { m.observer = fn }
+
+// SetCopyObserver installs fn as the frame-copy observer; nil removes it.
+// Install before the simulation runs: CopyFrame is invoked from parallel
+// fork workers, so fn must be safe for concurrent use and the installation
+// itself is not synchronized.
+func (m *Memory) SetCopyObserver(fn func(dst, src PFN)) { m.copyObserver = fn }
 
 // FreeFrame returns a frame to the allocator. Freeing a frame that is not
 // currently allocated reports ErrFreeFree; the frame's storage is retained
@@ -431,6 +442,9 @@ func (m *Memory) CopyFrame(dst, src PFN) error {
 		fd.tags = [TagWords]uint64{}
 	}
 	m.totalOps.Add(PageSize + TagPlaneBytes)
+	if m.copyObserver != nil {
+		m.copyObserver(dst, src)
+	}
 	return nil
 }
 

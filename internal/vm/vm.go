@@ -183,7 +183,27 @@ type AddressSpace struct {
 
 	// hooks holds the optional chaos interception points; nil in production.
 	hooks *Hooks
+
+	// obs, when non-nil, observes page-table mutations (the memory-
+	// provenance plane's mapping stream). Each mutation path pays one nil
+	// check when no observer is installed.
+	obs Observer
 }
+
+// Observer receives page-table mutation notifications. OnMap fires after a
+// PTE is installed (the page's reference count already incremented);
+// OnUnmap after a PTE is removed (reference count already decremented, the
+// frame not yet freed); OnReplace when MakePrivate swaps a shared page for
+// a private copy under an existing PTE. Callbacks run on the goroutine
+// performing the mutation — the simulation goroutine.
+type Observer interface {
+	OnMap(vpn VPN, page *Page)
+	OnUnmap(vpn VPN, page *Page)
+	OnReplace(vpn VPN, old, new *Page)
+}
+
+// SetObserver installs o as the mutation observer; nil removes it.
+func (as *AddressSpace) SetObserver(o Observer) { as.obs = o }
 
 // numFaultKinds sizes the per-kind fault counter array.
 const numFaultKinds = int(FaultNoExec) + 1
@@ -299,6 +319,9 @@ func (as *AddressSpace) Map(vpn VPN, page *Page, prot Prot) error {
 	pte.Page, pte.Prot = page, prot
 	d.live++
 	as.mapped++
+	if as.obs != nil {
+		as.obs.OnMap(vpn, page)
+	}
 	return nil
 }
 
@@ -339,6 +362,9 @@ func (as *AddressSpace) Unmap(vpn VPN) error {
 		}
 	}
 	page.Refs--
+	if as.obs != nil {
+		as.obs.OnUnmap(vpn, page)
+	}
 	if page.Refs == 0 {
 		return as.mem.FreeFrame(page.PFN)
 	}
@@ -440,10 +466,14 @@ func (as *AddressSpace) MakePrivate(vpn VPN, prot Prot) (*Page, bool, error) {
 		_ = as.mem.FreeFrame(pfn)
 		return nil, false, err
 	}
-	pte.Page.Refs--
+	old := pte.Page
+	old.Refs--
 	pte.Page = &Page{PFN: pfn, Refs: 1}
 	pte.Prot = prot
 	as.Stats.PagesCopied.Inc()
+	if as.obs != nil {
+		as.obs.OnReplace(vpn, old, pte.Page)
+	}
 	return pte.Page, true, nil
 }
 
