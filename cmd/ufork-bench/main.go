@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist|footprint|stress]
-//	            [-full] [-trace out.json] [-metrics out.json] [-parallel N] [-seed N]
+//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist|footprint|contention|stress]
+//	            [-full] [-trace out.json] [-metrics out.json] [-parallel N] [-seed N] [-cores 1,2,4,8]
+//
+// -exp contention sweeps the httpd worker fleet and a
+// kvstore-with-BGSAVE loop across simulated core counts (-cores) and
+// renders throughput against the BKL share of wait time — the paper's
+// §4.5 single-core ceiling as a measurement. The rows are checked in as
+// BENCH_6.json.
 //
 // -exp footprint sweeps fork depth × copy mode and reports the
 // RSS/PSS/USS decomposition of the whole fork chain after each
@@ -37,6 +43,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"ufork/internal/bench"
 	"ufork/internal/obs"
@@ -45,13 +53,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, footprint, stress)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, footprint, contention, stress)")
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	parallel := flag.Int("parallel", 0, "host worker-pool width for eager fork copies (0 = one per CPU, 1 = serial); virtual-time results are identical at any setting")
 	seed := flag.Int64("seed", 1, "base seed for -exp stress; a failure's printed repro line names the exact seed to replay")
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, pprof) on this address; keeps serving after the run until interrupted")
+	coresFlag := flag.String("cores", "1,2,4,8", "comma-separated core counts for -exp contention")
 	flag.Parse()
 
 	bench.Parallelism = *parallel
@@ -138,6 +147,18 @@ func main() {
 		fmt.Println(bench.RenderForkHist(rows))
 		ran = true
 	}
+	if want("contention") {
+		window := sim.Time(bench.ContentionWindowQuick)
+		if *full {
+			window = bench.ContentionWindowFull
+		}
+		cores, err := parseCores(*coresFlag)
+		die(err)
+		rows, err := bench.ContentionSweep(window, cores)
+		die(err)
+		fmt.Println(bench.RenderContention(rows))
+		ran = true
+	}
 	if want("footprint") {
 		rows, err := bench.Footprint()
 		die(err)
@@ -171,6 +192,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: run complete; still serving on http://%s/ (interrupt to exit)\n", tsrv.Addr)
 		select {}
 	}
+}
+
+// parseCores parses the -cores flag's comma-separated core counts.
+func parseCores(s string) ([]int, error) {
+	var cores []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cores entry %q", f)
+		}
+		cores = append(cores, n)
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("-cores is empty")
+	}
+	return cores, nil
 }
 
 func die(err error) {

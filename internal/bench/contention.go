@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+
+	"ufork/internal/alloc"
+	"ufork/internal/apps/httpd"
+	"ufork/internal/apps/kvstore"
+	"ufork/internal/kernel"
+	"ufork/internal/sim"
+)
+
+// Contention experiment parameters (§4.5 "SMP support"): the paper pins
+// μFork's Nginx to one core because every syscall serializes on the big
+// kernel lock; this sweep quantifies the ceiling that restriction encodes
+// by running the same worker fleets at growing core counts and splitting
+// each server's wait time into core starvation (runnable-wait) vs. BKL
+// queueing (bkl-wait). More cores convert the former into the latter —
+// throughput plateaus while the BKL share of wait climbs.
+const (
+	contentionWorkers    = 4
+	contentionDrivers    = 8
+	contentionKeys       = 64
+	contentionValueBytes = 2048
+)
+
+// ContentionCoresDefault is the paper-style sweep axis.
+var ContentionCoresDefault = []int{1, 2, 4, 8}
+
+// Contention sweep windows (quick vs. -full).
+const (
+	ContentionWindowQuick = 20 * sim.Millisecond
+	ContentionWindowFull  = 200 * sim.Millisecond
+)
+
+// ContentionRow is one (workload, cores) cell of the scaling table.
+type ContentionRow struct {
+	Workload         string
+	Cores            int
+	Ops              int
+	ThroughputPerSec float64
+	// Wait decomposition, summed over the server-side μprocesses (load
+	// drivers are off-core client machines and excluded).
+	BKLWaitNS  uint64
+	CoreWaitNS uint64 // runnable-wait: had work, no core free
+	BKLShare   float64
+	// BKL lockstat for the run: total acquisitions and the deepest
+	// convoy the waiters-high-water window saw.
+	BKLAcquisitions uint64
+	BKLWaitersHigh  int64
+}
+
+// ContentionSweep runs both workloads at each core count.
+func ContentionSweep(window sim.Time, cores []int) ([]ContentionRow, error) {
+	var rows []ContentionRow
+	for _, c := range cores {
+		row, err := httpdContention(c, window)
+		if err != nil {
+			return nil, fmt.Errorf("bench: contention httpd/%dc: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	for _, c := range cores {
+		row, err := kvContention(c, window)
+		if err != nil {
+			return nil, fmt.Errorf("bench: contention kvstore/%dc: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// contentionWaits folds the wait decomposition and BKL lockstat of a
+// finished run into row. Off-core driver pseudo-processes never compete
+// for server cores or the server BKL in a way the paper's ceiling is
+// about, so they are excluded by image name.
+func contentionWaits(k *kernel.Kernel, lt *sim.LockTable, row *ContentionRow, exclude string) {
+	for _, st := range k.ProcStats() {
+		if st.Name == exclude {
+			continue
+		}
+		row.BKLWaitNS += st.BKLWaitNS
+		row.CoreWaitNS += st.RunnableWaitNS
+	}
+	if total := row.BKLWaitNS + row.CoreWaitNS; total > 0 {
+		row.BKLShare = float64(row.BKLWaitNS) / float64(total)
+	}
+	for _, st := range lt.Snapshot() {
+		if st.Name == "bkl" {
+			row.BKLAcquisitions = st.Acquisitions
+			row.BKLWaitersHigh = st.WaitersHighWater
+		}
+	}
+}
+
+// httpdContention is the Nginx-shaped cell: a fixed four-worker fleet
+// (forked, sharing the listener) hammered by eight closed-loop drivers,
+// at the given core count.
+func httpdContention(cores int, window sim.Time) (ContentionRow, error) {
+	k := build(SysUForkCoPA, cores, 1<<16)
+	lt := sim.NewLockTable()
+	k.ArmLockstat(lt)
+	k.VFS().WriteFile("/index.html", make([]byte, nginxDocBytes))
+	row := ContentionRow{Workload: "httpd", Cores: cores}
+
+	err := runRoot(k, nginxSpec(), func(p *kernel.Proc) error {
+		srv, err := httpd.Start(p, contentionWorkers)
+		if err != nil {
+			return err
+		}
+		rfd, wfd, err := k.Pipe(p)
+		if err != nil {
+			return err
+		}
+		doneEnd, err := p.FDs.Get(wfd)
+		if err != nil {
+			return err
+		}
+		deadline := p.Now() + window
+		for d := 0; d < contentionDrivers; d++ {
+			if _, err := k.Spawn(driverSpec(), p.Now(), func(dp *kernel.Proc) {
+				dp.Task.Offcore = true
+				dwfd := dp.FDs.Install(doneEnd)
+				for dp.Now() < deadline {
+					if _, err := httpd.DoRequest(dp, srv.Listener, "/index.html"); err != nil {
+						break
+					}
+				}
+				_, _ = k.Write(dp, dwfd, []byte{1})
+			}); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 1)
+		for d := 0; d < contentionDrivers; d++ {
+			if _, err := k.Read(p, rfd, buf); err != nil {
+				return err
+			}
+		}
+		if err := srv.Shutdown(p); err != nil {
+			return err
+		}
+		row.Ops = srv.TotalServed()
+		row.ThroughputPerSec = float64(row.Ops) / (float64(window) / float64(sim.Second))
+		return nil
+	})
+	contentionWaits(k, lt, &row, "wrk")
+	return row, err
+}
+
+// kvContentionSpec is the kvstore server image: a modest static heap
+// holding the shared store plus per-worker CoW copies.
+func kvContentionSpec() kernel.ProgramSpec {
+	return kernel.ProgramSpec{
+		Name:      "kvsrv",
+		TextPages: 256, RodataPages: 64, GOTPages: 4, DataPages: 256,
+		AllocMetaPages: 32, HeapPages: 4096, StackPages: 64, TLSPages: 1,
+		GOTEntries: 256,
+	}
+}
+
+// kvContention is the Redis-shaped cell: four forked workers rewrite keys
+// and append AOF records in a closed loop while the parent cycles BGSAVE
+// snapshots — every Set, Write, fork and reap crossing the BKL.
+func kvContention(cores int, window sim.Time) (ContentionRow, error) {
+	k := build(SysUForkCoPA, cores, 1<<16)
+	lt := sim.NewLockTable()
+	k.ArmLockstat(lt)
+	row := ContentionRow{Workload: "kvstore", Cores: cores}
+
+	err := runRoot(k, kvContentionSpec(), func(p *kernel.Proc) error {
+		a := alloc.Attach(p)
+		if err := a.Init(); err != nil {
+			return err
+		}
+		store, err := kvstore.Init(p, a, bucketCount(contentionKeys))
+		if err != nil {
+			return err
+		}
+		val := make([]byte, contentionValueBytes)
+		for i := range val {
+			val[i] = byte(i * 131)
+		}
+		for i := 0; i < contentionKeys; i++ {
+			if err := store.Set(fmt.Sprintf("key:%06d", i), val); err != nil {
+				return err
+			}
+		}
+
+		deadline := p.Now() + window
+		ops := make([]int, contentionWorkers)
+		var workerErr error
+		for w := 0; w < contentionWorkers; w++ {
+			w := w
+			if _, err := k.Fork(p, func(c *kernel.Proc) {
+				ws, err := kvstore.Attach(c)
+				if err != nil {
+					workerErr = err
+					k.Exit(c, 1)
+					return
+				}
+				fd, err := k.Open(c, fmt.Sprintf("/aof-%d", w), true)
+				if err != nil {
+					workerErr = err
+					k.Exit(c, 1)
+					return
+				}
+				rec := make([]byte, 128)
+				for i := 0; c.Now() < deadline; i++ {
+					key := fmt.Sprintf("key:%06d", (w*17+i)%contentionKeys)
+					if err := ws.Set(key, val); err != nil {
+						workerErr = err
+						k.Exit(c, 1)
+						return
+					}
+					if _, err := k.Write(c, fd, rec); err != nil {
+						workerErr = err
+						k.Exit(c, 1)
+						return
+					}
+					ops[w]++
+				}
+				k.Exit(c, 0)
+			}); err != nil {
+				return err
+			}
+		}
+
+		// The parent is the snapshotter: BGSAVE, wait out one child (the
+		// snapshot — or a worker whose window closed; the books balance
+		// either way), repeat until the window ends.
+		snaps := 0
+		for p.Now() < deadline {
+			if _, err := store.BGSave("/dump.rdb"); err != nil {
+				return err
+			}
+			if _, status, err := k.Wait(p); err != nil {
+				return err
+			} else if status != 0 {
+				return fmt.Errorf("child failed with status %d", status)
+			}
+			snaps++
+		}
+		for i := 0; i < contentionWorkers; i++ {
+			if _, status, err := k.Wait(p); err != nil {
+				return err
+			} else if status != 0 {
+				return fmt.Errorf("worker failed with status %d", status)
+			}
+		}
+		if workerErr != nil {
+			return workerErr
+		}
+		for _, n := range ops {
+			row.Ops += n
+		}
+		row.Ops += snaps
+		row.ThroughputPerSec = float64(row.Ops) / (float64(window) / float64(sim.Second))
+		return nil
+	})
+	contentionWaits(k, lt, &row, "")
+	return row, err
+}
+
+// RenderContention formats the sweep: throughput next to the wait split,
+// so the one-core ceiling reads directly off the table — added cores stop
+// buying throughput once bkl-share owns the wait.
+func RenderContention(rows []ContentionRow) string {
+	var out [][]string
+	for _, r := range rows {
+		unit := "req/s"
+		if r.Workload == "kvstore" {
+			unit = "op/s"
+		}
+		out = append(out, []string{
+			r.Workload, fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.0f %s", r.ThroughputPerSec, unit),
+			Ms(sim.Time(r.BKLWaitNS)), Ms(sim.Time(r.CoreWaitNS)),
+			fmt.Sprintf("%.1f%%", 100*r.BKLShare),
+			fmt.Sprintf("%d", r.BKLAcquisitions),
+			fmt.Sprintf("%d", r.BKLWaitersHigh),
+		})
+	}
+	return "Contention sweep — throughput vs. BKL wait share (§4.5 single-core ceiling)\n" +
+		Table([]string{"workload", "cores", "throughput", "bkl-wait", "core-wait", "bkl-share", "bkl-acq", "waiters-hw"}, out)
+}

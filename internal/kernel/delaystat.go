@@ -1,0 +1,74 @@
+package kernel
+
+import "ufork/internal/sim"
+
+// DelayStat is the per-μprocess delay taxonomy: where the process's
+// virtual lifetime went, in the shape of Linux's taskstats delay
+// accounting. The five engine buckets (run, runnable-wait, blocked,
+// latency, lock-wait) partition the lifetime exactly; the remaining
+// fields are kernel-side refinements of those buckets by cause.
+type DelayStat struct {
+	PID        int    `json:"pid"`
+	LifetimeNS uint64 `json:"lifetime_ns"`
+
+	RunNS          uint64 `json:"run_ns"`
+	RunnableWaitNS uint64 `json:"runnable_wait_ns"`
+	BlockedNS      uint64 `json:"blocked_ns"`
+	LatencyNS      uint64 `json:"latency_ns"`
+	LockWaitNS     uint64 `json:"lock_wait_ns"`
+
+	BKLWaitNS      uint64 `json:"bkl_wait_ns"`
+	FaultServiceNS uint64 `json:"fault_service_ns"`
+	BlockPipeNS    uint64 `json:"block_pipe_ns"`
+	BlockNetNS     uint64 `json:"block_net_ns"`
+	BlockChildNS   uint64 `json:"block_child_ns"`
+}
+
+// delayStatOf snapshots p's delay taxonomy. Safe from any goroutine: it
+// reads only atomic counters.
+func delayStatOf(p *Proc) DelayStat {
+	d := p.Task.Delays()
+	st := DelayStat{
+		PID:            int(p.PID),
+		RunNS:          uint64(d[sim.DelayRun]),
+		RunnableWaitNS: uint64(d[sim.DelayRunnable]),
+		BlockedNS:      uint64(d[sim.DelayBlocked]),
+		LatencyNS:      uint64(d[sim.DelayLatency]),
+		LockWaitNS:     uint64(d[sim.DelayLockWait]),
+		BKLWaitNS:      p.Acct.BKLWaitNS.Value(),
+		FaultServiceNS: p.Acct.FaultServiceNS.Value(),
+		BlockPipeNS:    p.Acct.BlockPipeNS.Value(),
+		BlockNetNS:     p.Acct.BlockNetNS.Value(),
+		BlockChildNS:   p.Acct.BlockChildNS.Value(),
+	}
+	st.LifetimeNS = st.RunNS + st.RunnableWaitNS + st.BlockedNS +
+		st.LatencyNS + st.LockWaitNS
+	return st
+}
+
+// delayStatBytes approximates the user-visible record size for TOCTTOU
+// copy-out accounting.
+const delayStatBytes = 96
+
+// Delaystat is the SYS_DELAYSTAT syscall: the delay-accounting sibling of
+// SYS_PROCSTAT. pid 0 queries the calling process; querying another live
+// PID is permitted (read-only accounting, never capabilities). The call
+// itself enters the kernel, so a contended BKL shows up in the very
+// numbers it returns — same as reading /proc on a loaded box.
+func (k *Kernel) Delaystat(p *Proc, pid PID) (DelayStat, error) {
+	k.enter(p, SysDelaystat, delayStatBytes)
+	defer k.leave(p)
+	if err := k.chaosErr("delaystat"); err != nil {
+		return DelayStat{}, err
+	}
+	if pid == 0 || pid == p.PID {
+		return delayStatOf(p), nil
+	}
+	k.procMu.RLock()
+	q, ok := k.procs[pid]
+	k.procMu.RUnlock()
+	if !ok {
+		return DelayStat{}, ErrNoProc
+	}
+	return delayStatOf(q), nil
+}

@@ -161,7 +161,9 @@ func (r *PipeReader) Read(k *Kernel, p *Proc, buf []byte) (int, error) {
 		if c.writers == 0 {
 			return 0, nil // EOF
 		}
-		c.rq.Wait(p.Task)
+		p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p.Task, func() {
+			c.rq.Wait(p.Task)
+		})))
 		blocked = true
 	}
 	if blocked {
@@ -203,7 +205,9 @@ func (w *PipeWriter) Write(k *Kernel, p *Proc, buf []byte) (int, error) {
 		}
 		space := c.cap - len(c.buf)
 		if space == 0 {
-			c.wq.Wait(p.Task)
+			p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p.Task, func() {
+				c.wq.Wait(p.Task)
+			})))
 			k.chargeSwitch(p)
 			continue
 		}
@@ -310,7 +314,9 @@ func (l *Listener) Accept(p *Proc) (*Conn, error) {
 		if l.closed {
 			return nil, ErrPipeClosed
 		}
-		l.aq.Wait(p.Task)
+		p.Acct.BlockNetNS.Add(uint64(blockAccounted(p.Task, func() {
+			l.aq.Wait(p.Task)
+		})))
 		blocked = true
 	}
 	if blocked {

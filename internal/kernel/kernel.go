@@ -314,6 +314,15 @@ type Kernel struct {
 	// runs — not yet in the process table, but already receiving region
 	// mappings that the provenance plane must attribute to it.
 	forkChild *Proc
+
+	// Locks, when non-nil, is the armed lockstat table: the BKL as a real
+	// metered lock, plus shadow meters for the subsystems the BKL already
+	// serializes (proc table, FD table, tmem). Armed via ArmLockstat; nil
+	// in production, where every site pays one nil check.
+	Locks  *sim.LockTable
+	lkProc *sim.LockMeter
+	lkFD   *sim.LockMeter
+	lkTmem *sim.LockMeter
 }
 
 // SyscallFailer is the syscall-level fault-injection hook: it returns a
@@ -415,6 +424,13 @@ func New(cfg Config) *Kernel {
 		}
 		k.Flight.Emit(uint64(k.Eng.Now()), int32(k.curPID), kind, uint64(pfn), 0, 0)
 	})
+	// Dispatch-queueing flight events: the engine consults this hook only
+	// when scheduler stats are armed, and only for grants that waited.
+	k.Eng.OnDispatch = func(t *sim.Task, wait sim.Time) {
+		if k.Flight.On() {
+			k.Flight.Emit(uint64(t.Now()), t.Tag, flight.KindDispatch, uint64(wait), 0, 0)
+		}
+	}
 	if cfg.Machine.SingleAddressSpace {
 		k.SharedAS = vm.NewAddressSpace(k.Mem)
 	}
@@ -453,6 +469,45 @@ func (k *Kernel) ArmMemmap(pl *memmap.Plane) {
 		k.SharedAS.SetObserver(memObserver{k})
 	}
 	k.Mem.SetCopyObserver(func(dst, src tmem.PFN) { k.Memmap.OnCopy(dst, src) })
+}
+
+// ArmLockstat attaches a lockstat table: the BKL becomes a named metered
+// lock, and the BKL-serialized proc-table/FD-table/tmem sites get shadow
+// meters that count entries and credited hold time (they have no lock of
+// their own to bracket — that is exactly what the BKL-splitting refactor
+// will change, and these meters are its before/after yardstick). Also
+// arms scheduler statistics on the engine. Arm before the simulation
+// runs; metering never mutates virtual clocks, so timelines are unchanged.
+func (k *Kernel) ArmLockstat(lt *sim.LockTable) {
+	lt.Reset()
+	k.Locks = lt
+	k.bkl.SetMeter(lt.Meter("bkl", "kernel.enter"))
+	k.lkProc = lt.Meter("proctable", "kernel.procMu")
+	k.lkFD = lt.Meter("fdtable", "kernel.FDTable")
+	k.lkTmem = lt.Meter("tmem", "tmem.Memory")
+	if k.Eng.Sched() == nil {
+		k.Eng.ArmSched(sim.NewSchedStats(k.Eng.Cores()))
+	}
+}
+
+// Lockstat returns the per-lock statistics snapshot, or nil when lockstat
+// was never armed.
+func (k *Kernel) Lockstat() []sim.LockStat {
+	if k.Locks == nil {
+		return nil
+	}
+	return k.Locks.Snapshot()
+}
+
+// SchedSnapshot returns the scheduler telemetry snapshot, or nil when
+// scheduler stats were never armed.
+func (k *Kernel) SchedSnapshot() *sim.SchedSnapshot {
+	s := k.Eng.Sched()
+	if s == nil {
+		return nil
+	}
+	snap := s.Snapshot()
+	return &snap
 }
 
 // memObserver routes shared-address-space page-table mutations into the
@@ -528,7 +583,7 @@ func (k *Kernel) ReserveRegion(size uint64, name string) Region {
 
 // BKLContended reports how many big-kernel-lock acquisitions had to wait —
 // the SMP serialization the paper discusses in §4.5.
-func (k *Kernel) BKLContended() uint64 { return k.bkl.Contended }
+func (k *Kernel) BKLContended() uint64 { return k.bkl.Contended() }
 
 // Run drives the simulation to completion.
 func (k *Kernel) Run() { k.Eng.Run() }
@@ -565,6 +620,7 @@ func (k *Kernel) startProc(p *Proc, start sim.Time, entry func(*Proc)) {
 		entry(p)
 	})
 	p.Task.SwitchCost = k.Machine.CtxSwitch
+	p.Task.Tag = int32(p.PID)
 	if obs.On() {
 		k.Obs.Tracer.SetThreadName(int(p.PID), p.Task.ID, p.Task.Name)
 	}

@@ -148,7 +148,9 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 			sp = p.k.Obs.Tracer.Begin(int(p.PID), p.Task.ID,
 				"fault:"+fault.Kind.String(), "vm", uint64(p.Task.Now()))
 		}
-		// Taking the fault costs a trap + handler dispatch.
+		// Taking the fault costs a trap + handler dispatch. Everything
+		// from here to the handler's return is fault-service time.
+		fault0 := p.Task.Now()
 		p.Task.Advance(p.k.Machine.PageFault)
 		// Snapshot the faulting page's frame before the handler runs: if
 		// the resolution breaks sharing, this is the ancestor frame the
@@ -172,9 +174,17 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 			// handler's cause (e.g. an injected tmem.ErrOutOfMemory).
 			return tmem.NoFrame, 0, fmt.Errorf("%w: %w", ErrSegfault, err)
 		}
+		service := p.Task.Now() - fault0
+		p.Acct.FaultServiceNS.Add(uint64(service))
 		copied := st.PagesCopied.Value() - copied0
 		adopted := st.PagesAdopted.Value() - adopted0
 		relocs := st.CapsRelocated.Value() - relocs0
+		if copied > 0 {
+			// Fault-path copies mutate tmem under BKL protection; credit
+			// the shadow meter with the resolution's serialized cost.
+			p.k.lkTmem.Acquire(p.Task.Now())
+			p.k.lkTmem.ObserveHold(service)
+		}
 		mode := uint64(0) // KindFrameOwnerChange mode: 1=CoW 2=CoA 3=CoPA
 		switch {
 		case relocs > 0:

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ufork/internal/obs"
+	"ufork/internal/sim"
 )
 
 // Accounting is the per-μprocess cumulative counter block: where this
@@ -64,6 +65,17 @@ type Accounting struct {
 	SharedCleanBytes obs.Gauge
 	SharedDirtyBytes obs.Gauge
 	PendingPages     obs.Gauge
+
+	// Kernel-side delay attribution, refining the sim task's taxonomy:
+	// BKLWaitNS is the slice of lock-wait spent entering this kernel's big
+	// lock; FaultServiceNS is clock time inside the page-fault path (trap
+	// cost plus resolution); the Block*NS counters split parked time by
+	// what the process slept on.
+	BKLWaitNS      obs.Counter
+	FaultServiceNS obs.Counter
+	BlockPipeNS    obs.Counter
+	BlockNetNS     obs.Counter
+	BlockChildNS   obs.Counter
 }
 
 // chargeFrames adjusts the owned-frame attribution by d frames and tracks
@@ -119,6 +131,23 @@ type ProcStat struct {
 	SharedDirtyBytes int64 `json:"shared_dirty_bytes"`
 	PendingPages     int64 `json:"pending_pages"`
 
+	// Delay accounting: where this process's virtual lifetime went. The
+	// sim engine attributes every clock advance to exactly one bucket, so
+	// run + runnable-wait + blocked + latency + lock-wait == lifetime (the
+	// identity TestDelayTaxonomySums pins). The remaining fields refine
+	// those buckets with kernel-side causes.
+	LifetimeNS     uint64 `json:"lifetime_ns"`
+	RunNS          uint64 `json:"run_ns"`
+	RunnableWaitNS uint64 `json:"runnable_wait_ns"`
+	BlockedNS      uint64 `json:"blocked_ns"`
+	LatencyNS      uint64 `json:"latency_ns"`
+	LockWaitNS     uint64 `json:"lock_wait_ns"`
+	BKLWaitNS      uint64 `json:"bkl_wait_ns"`
+	FaultServiceNS uint64 `json:"fault_service_ns"`
+	BlockPipeNS    uint64 `json:"block_pipe_ns"`
+	BlockNetNS     uint64 `json:"block_net_ns"`
+	BlockChildNS   uint64 `json:"block_child_ns"`
+
 	// Exited marks a snapshot taken at reap time: the process is gone
 	// from the live table and the stats are final.
 	Exited bool `json:"exited,omitempty"`
@@ -156,6 +185,22 @@ func (p *Proc) Stat() ProcStat {
 		SharedCleanBytes: a.SharedCleanBytes.Value(),
 		SharedDirtyBytes: a.SharedDirtyBytes.Value(),
 		PendingPages:     a.PendingPages.Value(),
+
+		BKLWaitNS:      a.BKLWaitNS.Value(),
+		FaultServiceNS: a.FaultServiceNS.Value(),
+		BlockPipeNS:    a.BlockPipeNS.Value(),
+		BlockNetNS:     a.BlockNetNS.Value(),
+		BlockChildNS:   a.BlockChildNS.Value(),
+	}
+	if t := p.Task; t != nil {
+		d := t.Delays()
+		st.RunNS = uint64(d[sim.DelayRun])
+		st.RunnableWaitNS = uint64(d[sim.DelayRunnable])
+		st.BlockedNS = uint64(d[sim.DelayBlocked])
+		st.LatencyNS = uint64(d[sim.DelayLatency])
+		st.LockWaitNS = uint64(d[sim.DelayLockWait])
+		st.LifetimeNS = st.RunNS + st.RunnableWaitNS + st.BlockedNS +
+			st.LatencyNS + st.LockWaitNS
 	}
 	if p.Parent != nil {
 		st.PPID = int(p.Parent.PID)
@@ -174,6 +219,15 @@ func (p *Proc) Stat() ProcStat {
 	return st
 }
 
+// blockAccounted runs wait (which parks the task) and returns the parked
+// virtual time the sleep accrued, so blocking sites can attribute it to a
+// cause counter (pipe, socket, child).
+func blockAccounted(t *sim.Task, wait func()) sim.Time {
+	b0 := t.Delay(sim.DelayBlocked)
+	wait()
+	return t.Delay(sim.DelayBlocked) - b0
+}
+
 // deadStatsCap bounds the reaped-process history: enough for a whole
 // quick bench run, small enough that a fork-bomb soak cannot grow the
 // kernel without bound.
@@ -185,6 +239,7 @@ const deadStatsCap = 128
 func (k *Kernel) reap(p *Proc) {
 	st := p.Stat()
 	st.Exited = true
+	k.lkProc.Acquire(p.Task.Now())
 	k.procMu.Lock()
 	delete(k.procs, p.PID)
 	k.dead = append(k.dead, st)

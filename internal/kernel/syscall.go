@@ -55,7 +55,18 @@ func (k *Kernel) enter(p *Proc, no SysNo, bufBytes int) {
 		t.Book(k.Machine.TocttouFixed + sim.Time(bufBytes/k.Machine.TocttouBytesPerNs) + 1)
 	}
 	if k.Machine.BigKernelLock {
+		// Attribute the lock-wait delta this acquisition adds to the BKL:
+		// the VLock charges DelayLockWait, and the BKL is the only VLock a
+		// μprocess ever takes, so the delta is exact.
+		w0 := t.Delay(sim.DelayLockWait)
 		k.bkl.Lock(t)
+		if w := t.Delay(sim.DelayLockWait) - w0; w > 0 {
+			p.Acct.BKLWaitNS.Add(uint64(w))
+			if k.Flight.On() {
+				k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindLockWait,
+					uint64(w), uint64(no), 0)
+			}
+		}
 	} else {
 		t.Sync()
 	}
@@ -170,7 +181,18 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	child.FDs = p.FDs.Dup()
 	stats.FixupTime = sim.Time(child.FDs.Len())*k.Machine.FDDup + k.Machine.ForkFixed
 	stats.Latency += stats.FixupTime
+	if k.Locks != nil {
+		// Shadow-lock accounting: fork walks the FD table and tmem under
+		// BKL protection; credit those sections' virtual cost so lockstat
+		// shows what a split lock would have to serialize.
+		now := p.Task.Now()
+		k.lkFD.Acquire(now)
+		k.lkFD.ObserveHold(stats.FixupTime)
+		k.lkTmem.Acquire(now)
+		k.lkTmem.ObserveHold(stats.EagerCopyTime)
+	}
 
+	k.lkProc.Acquire(p.Task.Now())
 	k.procMu.Lock()
 	k.procs[child.PID] = child
 	k.procMu.Unlock()
@@ -269,7 +291,9 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 				return c.PID, c.exitStatus, nil
 			}
 		}
-		p.childExit.Wait(p.Task)
+		p.Acct.BlockChildNS.Add(uint64(blockAccounted(p.Task, func() {
+			p.childExit.Wait(p.Task)
+		})))
 	}
 }
 

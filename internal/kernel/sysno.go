@@ -36,6 +36,7 @@ const (
 	SysShmUnlink
 	SysProcstat
 	SysSmaps
+	SysDelaystat
 	// NumSysNos sizes per-syscall counter arrays.
 	NumSysNos
 )
@@ -69,6 +70,7 @@ var sysNames = [NumSysNos]string{
 	SysShmUnlink:  "shm-unlink",
 	SysProcstat:   "procstat",
 	SysSmaps:      "smaps",
+	SysDelaystat:  "delaystat",
 }
 
 func (n SysNo) String() string {

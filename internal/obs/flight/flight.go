@@ -70,13 +70,19 @@ const (
 	// shared ancestor frame the owner split from (equal to the owned frame
 	// for an in-place CoA adoption).
 	KindFrameOwnerChange
+	// KindLockWait is a contended lock acquisition that stalled the
+	// caller. Args: wait (virtual ns), syscall number being entered.
+	KindLockWait
+	// KindDispatch is a core grant that had to queue behind busy cores.
+	// Args: queueing delay (virtual ns).
+	KindDispatch
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"syscall", "sysret", "fork-start", "fork-done", "fault", "fault-done",
 	"frame-alloc", "frame-free", "ctx-switch", "proc-spawn", "proc-exit",
-	"mark", "frame-owner",
+	"mark", "frame-owner", "lock-wait", "dispatch",
 }
 
 // ownerChangeModes decodes KindFrameOwnerChange's mode argument.
@@ -132,6 +138,10 @@ func (e Event) Format() string {
 			mode = ownerChangeModes[e.Args[1]]
 		}
 		return fmt.Sprintf("%12d  pid=%-3d frame-owner pfn=%d mode=%s from=%d", e.TS, e.PID, e.Args[0], mode, e.Args[2])
+	case KindLockWait:
+		return fmt.Sprintf("%12d  pid=%-3d lock-wait   wait=%dns no=%d", e.TS, e.PID, e.Args[0], e.Args[1])
+	case KindDispatch:
+		return fmt.Sprintf("%12d  pid=%-3d dispatch    wait=%dns", e.TS, e.PID, e.Args[0])
 	default:
 		return fmt.Sprintf("%12d  pid=%-3d %v a0=%d a1=%d a2=%d", e.TS, e.PID, e.Kind, e.Args[0], e.Args[1], e.Args[2])
 	}

@@ -1,0 +1,72 @@
+package sim
+
+// DelayKind classifies where a task's virtual time went. The engine
+// attributes every clock advance to exactly one kind, so the kinds sum to
+// Now()-StartAt() at any instant — run time plus every flavor of waiting
+// is the task's whole lifetime, the same identity Linux delayacct keeps
+// per task.
+type DelayKind int
+
+const (
+	// DelayRun is on-core compute: Work and Book durations including the
+	// context-switch surcharge (and off-core agents' modelled compute).
+	DelayRun DelayKind = iota
+	// DelayRunnable is time spent runnable but queued for a free core —
+	// the scheduler's dispatch latency.
+	DelayRunnable
+	// DelayBlocked is parked time: pipe, socket-accept and wait(2) sleeps,
+	// ended by another task's Unpark.
+	DelayBlocked
+	// DelayLatency is non-CPU latency charged via Advance: device and
+	// network delays plus the machine model's fixed syscall path costs.
+	DelayLatency
+	// DelayLockWait is virtual time lost acquiring contended VLocks (the
+	// big kernel lock).
+	DelayLockWait
+
+	NumDelayKinds
+)
+
+var delayNames = [NumDelayKinds]string{
+	"run", "runnable", "blocked", "latency", "lock-wait",
+}
+
+func (d DelayKind) String() string {
+	if d < 0 || d >= NumDelayKinds {
+		return "?"
+	}
+	return delayNames[d]
+}
+
+// StartAt returns the virtual time the task was created.
+func (t *Task) StartAt() Time { return t.startAt }
+
+// Delay returns the accumulated virtual time of one kind. Safe to call
+// from any goroutine.
+func (t *Task) Delay(k DelayKind) Time { return Time(t.delays[k].Load()) }
+
+// Delays returns a snapshot of all delay kinds.
+func (t *Task) Delays() [NumDelayKinds]Time {
+	var out [NumDelayKinds]Time
+	for k := range out {
+		out[k] = Time(t.delays[k].Load())
+	}
+	return out
+}
+
+// Lifetime returns the task's age as the sum of its delay buckets — equal
+// to Now()-StartAt() but readable from any goroutine (the clock itself is
+// not atomic).
+func (t *Task) Lifetime() Time {
+	var sum Time
+	for k := DelayKind(0); k < NumDelayKinds; k++ {
+		sum += Time(t.delays[k].Load())
+	}
+	return sum
+}
+
+func (t *Task) addDelay(k DelayKind, d Time) {
+	if d != 0 {
+		t.delays[k].Add(uint64(d))
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"ufork/internal/obs"
+)
+
+// runqDepthBuckets sizes the run-queue depth histogram: depth is a small
+// integer, so power-of-two buckets resolve it fully.
+var runqDepthBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// SchedStats collects scheduler telemetry: run-queue depth sampled at
+// every dispatch, dispatch latency (virtual time a runnable task queued
+// for a core), and per-core busy time. Armed via Engine.ArmSched; all
+// fields are atomic so the telemetry server reads them live.
+type SchedStats struct {
+	// RunqDepth samples the number of runnable tasks left in the queue
+	// each time the scheduler dispatches one.
+	RunqDepth *obs.Histogram
+	// DispatchWait is the virtual time between a task becoming ready to
+	// compute and a core granting it a slot.
+	DispatchWait *obs.Histogram
+
+	busy    []obs.Counter // per-core busy virtual ns
+	horizon atomic.Uint64 // latest slot end observed (utilization denominator)
+}
+
+// NewSchedStats creates stats sized for the given core count.
+func NewSchedStats(cores int) *SchedStats {
+	return &SchedStats{
+		RunqDepth:    obs.NewHistogram(runqDepthBuckets),
+		DispatchWait: obs.NewHistogram(nil),
+		busy:         make([]obs.Counter, cores),
+	}
+}
+
+// note records one granted core slot: wait ns queued, busy ns on core,
+// ending at end. Called on the simulation goroutine.
+func (s *SchedStats) note(core int, wait, busy, end Time) {
+	s.DispatchWait.Observe(uint64(wait))
+	s.busy[core].Add(uint64(busy))
+	if v := uint64(end); v > s.horizon.Load() {
+		s.horizon.Store(v)
+	}
+}
+
+// CoreUtil is one core's utilization over the simulated horizon.
+type CoreUtil struct {
+	Core        int     `json:"core"`
+	BusyNS      uint64  `json:"busy_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+// SchedSnapshot is the JSON view of the scheduler statistics.
+type SchedSnapshot struct {
+	Cores        int             `json:"cores"`
+	HorizonNS    uint64          `json:"horizon_ns"`
+	RunqDepth    obs.HistSummary `json:"runq_depth"`
+	DispatchWait obs.HistSummary `json:"dispatch_wait_ns"`
+	PerCore      []CoreUtil      `json:"per_core"`
+}
+
+// Snapshot returns the current scheduler statistics. Utilization is busy
+// time over the latest observed slot end (1.0 = the core never idled).
+func (s *SchedStats) Snapshot() SchedSnapshot {
+	snap := SchedSnapshot{
+		Cores:        len(s.busy),
+		HorizonNS:    s.horizon.Load(),
+		RunqDepth:    s.RunqDepth.Summary(),
+		DispatchWait: s.DispatchWait.Summary(),
+		PerCore:      make([]CoreUtil, len(s.busy)),
+	}
+	for i := range s.busy {
+		u := CoreUtil{Core: i, BusyNS: s.busy[i].Value()}
+		if snap.HorizonNS > 0 {
+			u.Utilization = float64(u.BusyNS) / float64(snap.HorizonNS)
+		}
+		snap.PerCore[i] = u
+	}
+	return snap
+}

@@ -25,6 +25,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is virtual time in nanoseconds.
@@ -67,11 +68,27 @@ type Task struct {
 	ID   int
 	Name string
 
+	// Tag is an opaque annotation the embedding kernel sets (the owning
+	// μprocess PID); the engine threads it through to dispatch hooks and
+	// flight events without knowing what it means.
+	Tag int32
+
 	eng    *Engine
 	now    Time
 	st     state
 	resume chan struct{}
 	fn     func(*Task)
+
+	// startAt is the clock the task was created with. Every clock advance
+	// is attributed to exactly one DelayKind, so at any instant
+	// Now()-StartAt() equals the sum over delays — the identity the delay
+	// accounting tests pin.
+	startAt Time
+
+	// delays is the per-kind delay taxonomy. Atomic because the telemetry
+	// server reads them from an HTTP goroutine while the simulation
+	// goroutine accumulates.
+	delays [NumDelayKinds]atomic.Uint64
 
 	// SwitchCost is charged by Work when this task lands on a core that
 	// last ran a different task. The kernel sets it per machine model.
@@ -93,6 +110,17 @@ type Engine struct {
 	running  *Task
 	started  bool
 	finished bool
+
+	// sched, when armed via ArmSched, collects run-queue depth, dispatch
+	// latency, and per-core utilization. Nil in production runs: every
+	// observation site pays one pointer check.
+	sched *SchedStats
+
+	// OnDispatch, when non-nil, observes each on-core slot grant that had
+	// to queue behind busy cores (wait > 0). Called on the simulation
+	// goroutine with the granted task and its queueing delay; it must not
+	// touch task clocks. Only consulted when sched is armed.
+	OnDispatch func(t *Task, wait Time)
 }
 
 // NewEngine creates an engine with the given number of CPU cores.
@@ -108,6 +136,14 @@ func NewEngine(cores int) *Engine {
 
 // Cores returns the number of simulated CPU cores.
 func (e *Engine) Cores() int { return e.cores.n() }
+
+// ArmSched attaches scheduler statistics collection. Arm before Run;
+// collection never mutates task clocks, so arming cannot change the
+// simulated timeline.
+func (e *Engine) ArmSched(s *SchedStats) { e.sched = s }
+
+// Sched returns the armed scheduler statistics, or nil.
+func (e *Engine) Sched() *SchedStats { return e.sched }
 
 // Now returns the virtual clock of the currently running task, or zero
 // when the engine is idle (setup before Run, teardown after). The
@@ -125,13 +161,14 @@ func (e *Engine) Now() Time {
 // may be called before Run or from within a running task (e.g. by fork).
 func (e *Engine) Go(name string, start Time, fn func(*Task)) *Task {
 	t := &Task{
-		ID:     e.nextID,
-		Name:   name,
-		eng:    e,
-		now:    start,
-		st:     stateRunnable,
-		resume: make(chan struct{}),
-		fn:     fn,
+		ID:      e.nextID,
+		Name:    name,
+		eng:     e,
+		now:     start,
+		startAt: start,
+		st:      stateRunnable,
+		resume:  make(chan struct{}),
+		fn:      fn,
 	}
 	e.nextID++
 	e.tasks = append(e.tasks, t)
@@ -157,6 +194,9 @@ func (e *Engine) Run() {
 	e.started = true
 	for e.runq.Len() > 0 {
 		t := heap.Pop(&e.runq).(*Task)
+		if s := e.sched; s != nil {
+			s.RunqDepth.Observe(uint64(e.runq.Len()))
+		}
 		t.st = stateRunning
 		e.running = t
 		t.resume <- struct{}{}
@@ -185,11 +225,16 @@ func (t *Task) Now() Time { return t.now }
 // Advance moves the task's clock forward by d without consuming core time.
 // Use it for latencies that do not occupy a CPU (e.g. simulated device or
 // network delays); use Work for computation.
-func (t *Task) Advance(d Time) { t.now += d }
+func (t *Task) Advance(d Time) {
+	t.addDelay(DelayLatency, d)
+	t.now += d
+}
 
-// AdvanceTo moves the clock forward to at least abs.
+// AdvanceTo moves the clock forward to at least abs. Only Unpark calls it,
+// so the jump is parked (blocked) time.
 func (t *Task) AdvanceTo(abs Time) {
 	if abs > t.now {
+		t.addDelay(DelayBlocked, abs-t.now)
 		t.now = abs
 	}
 }
@@ -214,15 +259,21 @@ func (t *Task) Sync() {
 func (t *Task) Work(d Time) {
 	t.Sync()
 	if t.Offcore {
+		t.addDelay(DelayRun, d)
 		t.now += d
 		return
 	}
-	start, core, switched := t.eng.cores.acquire(t.now, t.ID)
+	ready := t.now
+	start, core, switched := t.eng.cores.acquire(ready, t.ID)
+	wait := start - ready
 	if switched {
 		start += t.SwitchCost
 	}
 	end := start + d
 	t.eng.cores.release(core, end, t.ID)
+	t.addDelay(DelayRunnable, wait)
+	t.addDelay(DelayRun, end-ready-wait)
+	t.noteDispatch(core, wait, end-ready-wait)
 	t.now = end
 }
 
@@ -233,13 +284,32 @@ func (t *Task) Work(d Time) {
 func (t *Task) Book(d Time) {
 	t.Sync()
 	if t.Offcore {
+		t.addDelay(DelayRun, d)
 		t.now += d
 		return
 	}
-	start, core, _ := t.eng.cores.acquire(t.now, t.ID)
+	ready := t.now
+	start, core, _ := t.eng.cores.acquire(ready, t.ID)
+	wait := start - ready
 	end := start + d
 	t.eng.cores.release(core, end, t.ID)
+	t.addDelay(DelayRunnable, wait)
+	t.addDelay(DelayRun, d)
+	t.noteDispatch(core, wait, d)
 	t.now = end
+}
+
+// noteDispatch feeds one granted core slot to the armed scheduler stats
+// and the dispatch hook. Unarmed engines pay one nil check.
+func (t *Task) noteDispatch(core int, wait, busy Time) {
+	s := t.eng.sched
+	if s == nil {
+		return
+	}
+	s.note(core, wait, busy, t.now+wait+busy)
+	if wait > 0 && t.eng.OnDispatch != nil {
+		t.eng.OnDispatch(t, wait)
+	}
 }
 
 // Park blocks the task until another task calls Unpark on it. The task
@@ -343,23 +413,42 @@ func (cb *coreBank) release(core int, at Time, taskID int) {
 
 // VLock is a virtual-time mutex: acquisition delays the caller's clock
 // until the lock's previous holder released it. It models Unikraft's "big
-// kernel lock" SMP serialization (§4.5).
+// kernel lock" SMP serialization (§4.5). Counters are atomic: host-side
+// readers (the telemetry server, parallel eager-copy workers' coordinator)
+// sample them while the simulation goroutine holds the lock.
 type VLock struct {
-	freeAt Time
-	// Contended counts acquisitions that had to wait.
-	Contended uint64
-	Acquired  uint64
+	freeAt    Time
+	heldAt    Time
+	acquired  atomic.Uint64
+	contended atomic.Uint64
+	m         *LockMeter
 }
 
+// Acquired returns the total acquisition count.
+func (l *VLock) Acquired() uint64 { return l.acquired.Load() }
+
+// Contended returns the number of acquisitions that had to wait.
+func (l *VLock) Contended() uint64 { return l.contended.Load() }
+
+// SetMeter attaches lockstat metering to the lock (nil detaches). Set
+// before the simulation runs; metering never mutates clocks.
+func (l *VLock) SetMeter(m *LockMeter) { l.m = m }
+
 // Lock acquires the lock at the caller's current clock, advancing the
-// clock to the lock's release time when contended.
+// clock to the lock's release time when contended. The wait is charged to
+// the task's DelayLockWait bucket.
 func (l *VLock) Lock(t *Task) {
 	t.Sync()
-	l.Acquired++
+	l.acquired.Add(1)
+	var wait Time
 	if l.freeAt > t.now {
-		l.Contended++
+		l.contended.Add(1)
+		wait = l.freeAt - t.now
+		t.addDelay(DelayLockWait, wait)
 		t.now = l.freeAt
 	}
+	l.heldAt = t.now
+	l.m.onLock(t.now, wait)
 }
 
 // Unlock releases the lock at the caller's current clock.
@@ -367,6 +456,15 @@ func (l *VLock) Unlock(t *Task) {
 	if t.now > l.freeAt {
 		l.freeAt = t.now
 	}
+	// Hold time since the most recent acquisition. A holder that parks
+	// mid-section (pipe read under the BKL) can be overtaken in virtual
+	// time; clamp instead of underflowing — the merged section is still
+	// attributed to the lock deterministically.
+	var hold Time
+	if t.now > l.heldAt {
+		hold = t.now - l.heldAt
+	}
+	l.m.onUnlock(hold)
 }
 
 // --- wait queue ---

@@ -159,8 +159,8 @@ func TestVLockSerializes(t *testing.T) {
 			t.Fatalf("ends = %v, want serialized {100,200,300,400}", ends)
 		}
 	}
-	if lock.Contended != 3 {
-		t.Fatalf("contended = %d, want 3", lock.Contended)
+	if lock.Contended() != 3 {
+		t.Fatalf("contended = %d, want 3", lock.Contended())
 	}
 }
 

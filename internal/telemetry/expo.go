@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
 	"ufork/internal/obs/memmap"
+	"ufork/internal/sim"
 )
 
 // Exposition bundles the data sources /metrics renders: an obs registry
@@ -26,6 +28,15 @@ type Exposition struct {
 	// memory-provenance plane snapshot. Nil renders nothing, keeping
 	// expositions from plane-less runs byte-identical to before.
 	Memmap *memmap.Snapshot
+
+	// Locks, when non-empty, adds the ufork_lock_* families from an armed
+	// lockstat table. Sched, when non-nil, adds the ufork_sched_*
+	// scheduler-telemetry families. Both render in seconds (Prometheus
+	// convention) rather than the registry histograms' virtual-ns suffix,
+	// since dashboards compare them against wall-clock SLOs. Nil/empty
+	// renders nothing.
+	Locks []*sim.LockMeter
+	Sched *sim.SchedStats
 
 	FlightSeq     uint64
 	FlightDropped uint64
@@ -82,6 +93,8 @@ func WriteMetrics(w io.Writer, e Exposition) error {
 
 	writeProcMetrics(bw, e.Procs)
 	writeMemmapMetrics(bw, e.Memmap)
+	writeLockMetrics(bw, e.Locks)
+	writeSchedMetrics(bw, e.Sched)
 
 	fmt.Fprintf(bw, "# HELP ufork_flight_events_total flight-recorder events emitted\n"+
 		"# TYPE ufork_flight_events_total counter\nufork_flight_events_total %d\n", e.FlightSeq)
@@ -184,6 +197,100 @@ func writeMemmapMetrics(bw *bufio.Writer, m *memmap.Snapshot) {
 		func(p memmap.ProcNode) uint64 { return p.USSBytes })
 	family("ufork_memmap_proc_shared_pages", "pages shared with at least one other mapper",
 		func(p memmap.ProcNode) uint64 { return uint64(p.SharedPages) })
+}
+
+// secs renders a virtual-ns quantity as Prometheus seconds. FormatFloat
+// with 'g' keeps the 1-2-5 bucket ladder exact and strictly increasing
+// ("1e-09", "2e-09", ..., "1000"), which the lint's emission-order check
+// relies on.
+func secs(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// writeHist renders one histogram's bucket/sum/count series under name.
+// labels is the rendered label set without braces ("" for none); val maps
+// a raw bound or sum onto its exposition string (seconds or plain count).
+func writeHist(bw *bufio.Writer, name, labels string, h *obs.Histogram, val func(uint64) string) {
+	brace := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	bounds, cum := h.Buckets()
+	for i, b := range bounds {
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", name, brace(`le="`+val(b)+`"`), cum[i])
+	}
+	fmt.Fprintf(bw, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), cum[len(cum)-1])
+	fmt.Fprintf(bw, "%s_sum%s %s\n", name, brace(""), val(h.Sum()))
+	fmt.Fprintf(bw, "%s_count%s %d\n", name, brace(""), h.Count())
+}
+
+// writeLockMetrics renders the lockstat families: per-lock acquisition
+// and contention counters, the waiters high-water mark, and wait/hold
+// histograms in seconds.
+func writeLockMetrics(bw *bufio.Writer, locks []*sim.LockMeter) {
+	if len(locks) == 0 {
+		return
+	}
+	family := func(name, typ, help string, emit func(m *sim.LockMeter)) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, m := range locks {
+			emit(m)
+		}
+	}
+	label := func(m *sim.LockMeter) string { return fmt.Sprintf("lock=%q", m.Name()) }
+	family("ufork_lock_acquisitions_total", "counter", "lock acquisitions by named lock", func(m *sim.LockMeter) {
+		fmt.Fprintf(bw, "ufork_lock_acquisitions_total{%s} %d\n", label(m), m.Acquisitions())
+	})
+	family("ufork_lock_contended_total", "counter", "lock acquisitions that had to wait", func(m *sim.LockMeter) {
+		fmt.Fprintf(bw, "ufork_lock_contended_total{%s} %d\n", label(m), m.ContendedCount())
+	})
+	family("ufork_lock_waiters_high_water", "gauge", "most waiters ever queued on the lock at once", func(m *sim.LockMeter) {
+		fmt.Fprintf(bw, "ufork_lock_waiters_high_water{%s} %d\n", label(m), m.WaitersHighWater())
+	})
+	family("ufork_lock_wait_seconds", "histogram", "virtual time lost waiting for the lock", func(m *sim.LockMeter) {
+		writeHist(bw, "ufork_lock_wait_seconds", label(m), m.WaitHist(), secs)
+	})
+	family("ufork_lock_hold_seconds", "histogram", "virtual time the lock was held per critical section", func(m *sim.LockMeter) {
+		writeHist(bw, "ufork_lock_hold_seconds", label(m), m.HoldHist(), secs)
+	})
+}
+
+// writeSchedMetrics renders the scheduler-telemetry families: run-queue
+// depth, dispatch latency, and per-core busy time/utilization.
+func writeSchedMetrics(bw *bufio.Writer, s *sim.SchedStats) {
+	if s == nil {
+		return
+	}
+	snap := s.Snapshot()
+	fmt.Fprintf(bw, "# HELP ufork_sched_runq_depth runnable tasks left in the queue at each dispatch\n"+
+		"# TYPE ufork_sched_runq_depth histogram\n")
+	writeHist(bw, "ufork_sched_runq_depth", "", s.RunqDepth, func(v uint64) string {
+		return strconv.FormatUint(v, 10)
+	})
+	fmt.Fprintf(bw, "# HELP ufork_sched_dispatch_wait_seconds virtual time runnable tasks queued for a core\n"+
+		"# TYPE ufork_sched_dispatch_wait_seconds histogram\n")
+	writeHist(bw, "ufork_sched_dispatch_wait_seconds", "", s.DispatchWait, secs)
+	fmt.Fprintf(bw, "# HELP ufork_sched_core_busy_seconds_total virtual time each core spent executing\n"+
+		"# TYPE ufork_sched_core_busy_seconds_total counter\n")
+	for _, c := range snap.PerCore {
+		fmt.Fprintf(bw, "ufork_sched_core_busy_seconds_total{core=\"%d\"} %s\n", c.Core, secs(c.BusyNS))
+	}
+	fmt.Fprintf(bw, "# HELP ufork_sched_core_utilization busy fraction of each core over the simulated horizon\n"+
+		"# TYPE ufork_sched_core_utilization gauge\n")
+	for _, c := range snap.PerCore {
+		fmt.Fprintf(bw, "ufork_sched_core_utilization{core=\"%d\"} %s\n",
+			c.Core, strconv.FormatFloat(c.Utilization, 'g', -1, 64))
+	}
+	fmt.Fprintf(bw, "# HELP ufork_sched_horizon_seconds latest core-slot end observed (utilization denominator)\n"+
+		"# TYPE ufork_sched_horizon_seconds gauge\nufork_sched_horizon_seconds %s\n", secs(snap.HorizonNS))
 }
 
 // sanitize maps an obs metric name (dot/dash separated) onto the

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ufork/internal/sim"
+)
+
+// lockExposition extends the fixed exposition with a deterministic lock
+// table and scheduler stats, the way handleMetrics does for a tracked,
+// lockstat-armed kernel.
+func lockExposition() Exposition {
+	lt := sim.NewLockTable()
+	bkl := lt.Meter("bkl", "kernel.enter")
+	// Two tasks race a metered VLock on two cores: one uncontended
+	// acquisition holding 1.5 µs, one that waits out that hold — wait
+	// 1500 ns, hold totals 2 µs (1500 + 500).
+	eng := sim.NewEngine(2)
+	var l sim.VLock
+	l.SetMeter(bkl)
+	for i := 0; i < 2; i++ {
+		i := i
+		eng.Go("locker", 0, func(tk *sim.Task) {
+			l.Lock(tk)
+			if i == 0 {
+				tk.Work(1500)
+			} else {
+				tk.Work(500)
+			}
+			l.Unlock(tk)
+		})
+	}
+	eng.Run()
+	fd := lt.Meter("fdtable", "kernel.FDTable")
+	fd.Acquire(50)
+	fd.ObserveHold(300)
+
+	s := sim.NewSchedStats(2)
+	s.RunqDepth.Observe(3)
+	s.DispatchWait.Observe(1500)
+
+	e := fixedExposition()
+	e.Locks = lt.Meters()
+	e.Sched = s
+	return e
+}
+
+// TestLockSchedExposition checks the new families render in seconds with
+// per-lock labels — and that the whole document still lints clean, so the
+// producer and the CI validator agree about labeled histograms.
+func TestLockSchedExposition(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteMetrics(&b, lockExposition()); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		`ufork_lock_acquisitions_total{lock="bkl"} 2`,
+		`ufork_lock_acquisitions_total{lock="fdtable"} 1`,
+		`ufork_lock_contended_total{lock="bkl"} 1`,
+		`ufork_lock_waiters_high_water{lock="bkl"} 1`,
+		// 1500 ns wait and 2000 ns hold, rendered as seconds.
+		`ufork_lock_wait_seconds_sum{lock="bkl"} 1.5e-06`,
+		`ufork_lock_hold_seconds_sum{lock="bkl"} 2e-06`,
+		`ufork_lock_wait_seconds_count{lock="bkl"} 1`,
+		`ufork_lock_wait_seconds_bucket{lock="bkl",le="+Inf"} 1`,
+		`ufork_sched_runq_depth_bucket{le="4"} 1`,
+		`ufork_sched_dispatch_wait_seconds_sum 1.5e-06`,
+		`ufork_sched_core_busy_seconds_total{core="0"} 0`,
+		`ufork_sched_core_utilization{core="1"} 0`,
+		"ufork_sched_horizon_seconds 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+	if errs := Lint(strings.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("lock/sched exposition fails lint: %v", errs)
+	}
+}
+
+// TestLockSchedExpositionAbsentByDefault: a nil lock table and sched
+// stats render nothing, keeping the plane-less exposition byte-identical
+// to the pre-lockstat golden (TestGoldenExposition pins the bytes).
+func TestLockSchedExpositionAbsentByDefault(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteMetrics(&b, fixedExposition()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "ufork_lock_") || strings.Contains(b.String(), "ufork_sched_") {
+		t.Fatalf("unarmed exposition leaks lock/sched families:\n%s", b.String())
+	}
+}

@@ -21,15 +21,17 @@ func Lint(r io.Reader) []error {
 		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
 	}
 
-	types := map[string]string{}   // family → declared type
-	done := map[string]bool{}      // family → a later family started (grouping check)
-	var current string             // family currently being emitted
-	buckets := map[string][]le{}   // histogram family → observed buckets
-	sums := map[string]bool{}      // histogram family → _sum seen
-	counts := map[string]bool{}    // histogram family → _count seen
-	samples := map[string]int{}    // family → sample count
-	seen := map[string]struct{}{}  // duplicate series guard
-	order := []string{}            // family order for final checks
+	types := map[string]string{}  // family → declared type
+	done := map[string]bool{}     // family → a later family started (grouping check)
+	var current string            // family currently being emitted
+	buckets := map[string][]le{}  // histogram family|labelset → buckets in emission order
+	groups := map[string][]string{} // histogram family → label-set keys in first-seen order
+	sums := map[string]bool{}     // histogram family|labelset → _sum seen
+	counts := map[string]float64{} // histogram family|labelset → _count value
+	haveCount := map[string]bool{} // histogram family|labelset → _count seen
+	samples := map[string]int{}   // family → sample count
+	seen := map[string]struct{}{} // duplicate series guard
+	order := []string{}           // family order for final checks
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -104,6 +106,11 @@ func Lint(r io.Reader) []error {
 		seen[series] = struct{}{}
 
 		if types[fam] == "histogram" {
+			// Histogram series are validated per label set: a labeled
+			// family (ufork_lock_wait_seconds{lock=...}) is one logical
+			// histogram per lock, each needing its own complete, ordered
+			// bucket ladder plus _sum/_count.
+			group := fam + "|" + groupKey(labels)
 			switch {
 			case name == fam+"_bucket":
 				lev, found := labelValue(labels, "le")
@@ -119,11 +126,15 @@ func Lint(r io.Reader) []error {
 						fail(lineNo, "histogram bucket %s has unparsable le=%q", name, lev)
 					}
 				}
-				buckets[fam] = append(buckets[fam], le{bound, value, lineNo})
+				if len(buckets[group]) == 0 {
+					groups[fam] = append(groups[fam], group)
+				}
+				buckets[group] = append(buckets[group], le{bound, value, lineNo})
 			case name == fam+"_sum":
-				sums[fam] = true
+				sums[group] = true
 			case name == fam+"_count":
-				counts[fam] = true
+				haveCount[group] = true
+				counts[group] = value
 			}
 		}
 	}
@@ -135,29 +146,61 @@ func Lint(r io.Reader) []error {
 		if types[fam] != "histogram" {
 			continue
 		}
-		bs := buckets[fam]
-		if len(bs) == 0 {
+		if len(groups[fam]) == 0 {
 			errs = append(errs, fmt.Errorf("histogram %s has no _bucket series", fam))
 			continue
 		}
-		sort.SliceStable(bs, func(i, j int) bool { return bs[i].bound < bs[j].bound })
-		if !math.IsInf(bs[len(bs)-1].bound, 1) {
-			errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", fam))
-		}
-		for i := 1; i < len(bs); i++ {
-			if bs[i].count < bs[i-1].count {
-				errs = append(errs, fmt.Errorf("line %d: histogram %s buckets not cumulative (le=%g count %g < %g)",
-					bs[i].line, fam, bs[i].bound, bs[i].count, bs[i-1].count))
+		for _, group := range groups[fam] {
+			labelset := strings.TrimPrefix(group, fam+"|")
+			at := fam
+			if labelset != "" {
+				at = fam + "{" + labelset + "}"
 			}
-		}
-		if !sums[fam] {
-			errs = append(errs, fmt.Errorf("histogram %s missing _sum", fam))
-		}
-		if !counts[fam] {
-			errs = append(errs, fmt.Errorf("histogram %s missing _count", fam))
+			bs := buckets[group]
+			// Buckets must be emitted in strictly increasing le order
+			// with +Inf terminal — consumers stream them positionally, so
+			// a sorted-after-the-fact check would hide real exposition
+			// bugs (and a duplicate le shows up as non-increasing here).
+			for i := 1; i < len(bs); i++ {
+				if bs[i].bound == bs[i-1].bound {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s duplicate le=%g bucket",
+						bs[i].line, at, bs[i].bound))
+				} else if bs[i].bound < bs[i-1].bound {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s buckets emitted out of le order (le=%g after le=%g)",
+						bs[i].line, at, bs[i].bound, bs[i-1].bound))
+				}
+				if bs[i].count < bs[i-1].count {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s buckets not cumulative (le=%g count %g < %g)",
+						bs[i].line, at, bs[i].bound, bs[i].count, bs[i-1].count))
+				}
+			}
+			if !math.IsInf(bs[len(bs)-1].bound, 1) {
+				errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" terminal bucket", at))
+			}
+			if !sums[group] {
+				errs = append(errs, fmt.Errorf("histogram %s missing _sum", at))
+			}
+			if !haveCount[group] {
+				errs = append(errs, fmt.Errorf("histogram %s missing _count", at))
+			} else if math.IsInf(bs[len(bs)-1].bound, 1) && counts[group] != bs[len(bs)-1].count {
+				errs = append(errs, fmt.Errorf("histogram %s _count %g != +Inf bucket %g",
+					at, counts[group], bs[len(bs)-1].count))
+			}
 		}
 	}
 	return errs
+}
+
+// groupKey renders a bucket line's label set with le removed — the
+// identity of the logical histogram the bucket belongs to.
+func groupKey(labels []label) string {
+	rest := make([]label, 0, len(labels))
+	for _, l := range labels {
+		if l.name != "le" {
+			rest = append(rest, l)
+		}
+	}
+	return labelKey(rest)
 }
 
 type le struct {

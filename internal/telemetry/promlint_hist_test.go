@@ -1,0 +1,85 @@
+package telemetry
+
+import "testing"
+
+// Histogram exposition-order validation: buckets are checked as emitted,
+// not after sorting, because consumers stream them positionally.
+
+func TestLintRejectsHistogramOutOfOrderBuckets(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="20"} 1
+ufork_h_bucket{le="10"} 1
+ufork_h_bucket{le="+Inf"} 2
+ufork_h_sum 25
+ufork_h_count 2
+`, "out of le order")
+}
+
+func TestLintRejectsHistogramDuplicateLe(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="10"} 1
+ufork_h_bucket{le="10"} 1
+ufork_h_bucket{le="+Inf"} 2
+ufork_h_sum 12
+ufork_h_count 2
+`, "duplicate le")
+}
+
+func TestLintRejectsHistogramCountMismatch(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="10"} 2
+ufork_h_bucket{le="+Inf"} 2
+ufork_h_sum 12
+ufork_h_count 3
+`, "_count 3 != +Inf bucket 2")
+}
+
+func TestLintRejectsHistogramInfNotTerminal(t *testing.T) {
+	wantErr(t, `# TYPE ufork_h histogram
+ufork_h_bucket{le="+Inf"} 2
+ufork_h_bucket{le="10"} 1
+ufork_h_sum 12
+ufork_h_count 2
+`, "out of le order")
+}
+
+// TestLintAcceptsLabeledHistogramGroups: a labeled histogram family (one
+// logical histogram per lock) is valid when every label group carries its
+// own complete ladder — the shape ufork_lock_wait_seconds emits.
+func TestLintAcceptsLabeledHistogramGroups(t *testing.T) {
+	input := `# TYPE ufork_lock_wait_seconds histogram
+ufork_lock_wait_seconds_bucket{lock="bkl",le="1e-09"} 1
+ufork_lock_wait_seconds_bucket{lock="bkl",le="+Inf"} 4
+ufork_lock_wait_seconds_sum{lock="bkl"} 0.5
+ufork_lock_wait_seconds_count{lock="bkl"} 4
+ufork_lock_wait_seconds_bucket{lock="fdtable",le="1e-09"} 0
+ufork_lock_wait_seconds_bucket{lock="fdtable",le="+Inf"} 2
+ufork_lock_wait_seconds_sum{lock="fdtable"} 0.25
+ufork_lock_wait_seconds_count{lock="fdtable"} 2
+`
+	if errs := lintStr(input); len(errs) != 0 {
+		t.Fatalf("valid labeled histogram rejected: %v", errs)
+	}
+}
+
+// TestLintValidatesEachLabelGroup: a complete ladder under one label set
+// must not mask a broken sibling group.
+func TestLintValidatesEachLabelGroup(t *testing.T) {
+	wantErr(t, `# TYPE ufork_lock_wait_seconds histogram
+ufork_lock_wait_seconds_bucket{lock="bkl",le="1e-09"} 1
+ufork_lock_wait_seconds_bucket{lock="bkl",le="+Inf"} 4
+ufork_lock_wait_seconds_sum{lock="bkl"} 0.5
+ufork_lock_wait_seconds_count{lock="bkl"} 4
+ufork_lock_wait_seconds_bucket{lock="fdtable",le="1e-09"} 0
+ufork_lock_wait_seconds_bucket{lock="fdtable",le="+Inf"} 2
+ufork_lock_wait_seconds_count{lock="fdtable"} 2
+`, `ufork_lock_wait_seconds{lock=fdtable} missing _sum`)
+	wantErr(t, `# TYPE ufork_lock_hold_seconds histogram
+ufork_lock_hold_seconds_bucket{lock="bkl",le="+Inf"} 4
+ufork_lock_hold_seconds_sum{lock="bkl"} 0.5
+ufork_lock_hold_seconds_count{lock="bkl"} 4
+ufork_lock_hold_seconds_bucket{lock="tmem",le="0.001"} 1
+ufork_lock_hold_seconds_sum{lock="tmem"} 0.001
+ufork_lock_hold_seconds_count{lock="tmem"} 1
+`, `ufork_lock_hold_seconds{lock=tmem} missing le="+Inf"`)
+}

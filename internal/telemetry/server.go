@@ -19,17 +19,19 @@ import (
 	"ufork/internal/obs"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
+	"ufork/internal/sim"
 )
 
 // Server serves the telemetry endpoints. Construct with New; all handlers
 // read only atomic state, so serving concurrently with a running
 // simulation is safe.
 type Server struct {
-	obs *obs.Obs
-	fr  *flight.Recorder
-	pl  *memmap.Plane
-	cur atomic.Pointer[kernel.Kernel]
-	ln  net.Listener
+	obs   *obs.Obs
+	fr    *flight.Recorder
+	pl    *memmap.Plane
+	locks *sim.LockTable
+	cur   atomic.Pointer[kernel.Kernel]
+	ln    net.Listener
 
 	// Addr is the bound listen address, set by Start (useful with ":0").
 	Addr string
@@ -47,7 +49,7 @@ func New(o *obs.Obs, fr *flight.Recorder) *Server {
 	}
 	pl := memmap.New()
 	pl.Enable()
-	return &Server{obs: o, fr: fr, pl: pl}
+	return &Server{obs: o, fr: fr, pl: pl, locks: sim.NewLockTable()}
 }
 
 // Track makes k the kernel /procs and per-proc /metrics families reflect,
@@ -59,6 +61,9 @@ func (s *Server) Track(k *kernel.Kernel) {
 	s.cur.Store(k)
 	if k != nil && k.Mem != nil {
 		k.ArmMemmap(s.pl)
+	}
+	if k != nil && k.Eng != nil {
+		k.ArmLockstat(s.locks)
 	}
 }
 
@@ -77,6 +82,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/procs", s.handleProcs)
 	mux.HandleFunc("/memmap", s.handleMemmap)
+	mux.HandleFunc("/locks", s.handleLocks)
+	mux.HandleFunc("/sched", s.handleSched)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -96,6 +103,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics        Prometheus text exposition (obs registry + per-proc accounting)
   /procs          per-μprocess accounting, JSON
   /memmap         fork-tree memory provenance: per-node RSS/PSS/USS, frame lineage (?frames=256)
+  /locks          lockstat: per-lock acquisitions, contention, wait/hold summaries, JSON
+  /sched          scheduler telemetry: run-queue depth, dispatch latency, core utilization, JSON
   /flight         flight-recorder tail (?n=64, ?format=text|chrome)
   /debug/pprof/   host-process profiling
 `)
@@ -114,7 +123,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap := s.pl.Snapshot(0)
 		e.Memmap = &snap
 	}
+	if k := s.cur.Load(); k != nil {
+		if k.Locks != nil {
+			e.Locks = k.Locks.Meters()
+		}
+		if k.Eng != nil {
+			e.Sched = k.Eng.Sched()
+		}
+	}
 	_ = WriteMetrics(w, e)
+}
+
+// handleLocks serves the lockstat snapshot of the tracked kernel. An
+// untracked or unarmed server serves an empty array — the endpoint shape
+// is stable either way.
+func (s *Server) handleLocks(w http.ResponseWriter, _ *http.Request) {
+	var stats []sim.LockStat
+	if k := s.cur.Load(); k != nil {
+		stats = k.Lockstat()
+	}
+	if stats == nil {
+		stats = []sim.LockStat{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(stats)
+}
+
+// handleSched serves the scheduler-telemetry snapshot of the tracked
+// kernel. An untracked or unarmed server serves an empty document with
+// zero cores.
+func (s *Server) handleSched(w http.ResponseWriter, _ *http.Request) {
+	snap := &sim.SchedSnapshot{PerCore: []sim.CoreUtil{}}
+	if k := s.cur.Load(); k != nil {
+		if ks := k.SchedSnapshot(); ks != nil {
+			snap = ks
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
 }
 
 // handleMemmap serves the provenance plane's fork-tree snapshot: live
@@ -152,6 +202,13 @@ func (s *Server) handleProcs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	// A recorder that was never armed and holds no events has nothing to
+	// dump; make that a clean client-visible condition instead of an
+	// empty 200 that reads like a healthy-but-idle system.
+	if !s.fr.On() && s.fr.Seq() == 0 {
+		http.Error(w, "flight recorder not armed", http.StatusConflict)
+		return
+	}
 	n := flight.DumpTail
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
