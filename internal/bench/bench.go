@@ -26,6 +26,7 @@ const (
 	SysUForkTocttou SystemID = "uFork+TOCTTOU" // CoPA, full adversarial isolation
 	SysUForkCoA     SystemID = "uFork-CoA"
 	SysUForkFull    SystemID = "uFork-FullCopy"
+	SysUForkSMP     SystemID = "uFork-SMP" // CoPA with the split lock hierarchy
 	SysPosix        SystemID = "CheriBSD"
 	SysVMClone      SystemID = "Nephele"
 )
@@ -60,6 +61,8 @@ func build(id SystemID, cores int, frames int) *kernel.Kernel {
 		m, eng, iso = model.UFork(cores), ufork(core.CopyOnAccess), kernel.IsolationFault
 	case SysUForkFull:
 		m, eng, iso = model.UFork(cores), ufork(core.CopyFull), kernel.IsolationFault
+	case SysUForkSMP:
+		m, eng, iso = model.UForkSMP(cores), ufork(core.CopyOnPointerAccess), kernel.IsolationFault
 	case SysPosix:
 		m, eng, iso = model.Posix(cores), posix.New(), kernel.IsolationFull
 	case SysVMClone:

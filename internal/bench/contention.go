@@ -24,6 +24,15 @@ const (
 	contentionValueBytes = 2048
 )
 
+// contentionThink is the kvstore workers' closed-loop client think time:
+// the virtual gap between operations (request parse, client turnaround).
+// It bounds each worker's op count per window — without it the split-lock
+// configuration, whose per-op kernel time is tiny once nothing serializes,
+// runs millions of simulated ops per cell and the sweep's host cost
+// explodes. Identical in both lock configurations, so it cancels out of
+// the pre/post comparison.
+const contentionThink = 10 * sim.Microsecond
+
 // ContentionCoresDefault is the paper-style sweep axis.
 var ContentionCoresDefault = []int{1, 2, 4, 8}
 
@@ -33,46 +42,82 @@ const (
 	ContentionWindowFull  = 200 * sim.Millisecond
 )
 
-// ContentionRow is one (workload, cores) cell of the scaling table.
+// Lock-configuration labels for the pre/post-split comparison.
+const (
+	LocksBKL = "bkl" // everything serializes on the big kernel lock
+	LocksSMP = "smp" // split hierarchy, narrow residual lock
+)
+
+// contentionSystem maps a lock configuration to the benchmarked system.
+func contentionSystem(locks string) SystemID {
+	if locks == LocksSMP {
+		return SysUForkSMP
+	}
+	return SysUForkCoPA
+}
+
+// globalLockName is the lockstat row of the global serializing lock under
+// each configuration.
+func globalLockName(locks string) string {
+	if locks == LocksSMP {
+		return "residual"
+	}
+	return "bkl"
+}
+
+// ContentionRow is one (workload, locks, cores) cell of the scaling table.
+// The Global* fields describe the global serializing lock — the BKL on the
+// pre-split configuration, the residual lock on the split one — so the same
+// columns read as the before/after of breaking the big lock.
 type ContentionRow struct {
 	Workload         string
+	Locks            string // LocksBKL or LocksSMP
 	Cores            int
 	Ops              int
 	ThroughputPerSec float64
 	// Wait decomposition, summed over the server-side μprocesses (load
-	// drivers are off-core client machines and excluded).
-	BKLWaitNS  uint64
-	CoreWaitNS uint64 // runnable-wait: had work, no core free
-	BKLShare   float64
-	// BKL lockstat for the run: total acquisitions and the deepest
+	// drivers are off-core client machines and excluded): global-lock wait,
+	// wait on all kernel locks (== global wait when everything is the BKL),
+	// and runnable-wait (had work, no core free).
+	BKLWaitNS   uint64
+	LockWaitNS  uint64
+	CoreWaitNS  uint64
+	BKLShare    float64 // global-lock wait / (all lock wait + core wait)
+	// Global-lock lockstat for the run: total acquisitions and the deepest
 	// convoy the waiters-high-water window saw.
 	BKLAcquisitions uint64
 	BKLWaitersHigh  int64
 }
 
-// ContentionSweep runs both workloads at each core count.
+// ContentionSweep runs both workloads under both lock configurations at
+// each core count: the BKL rows reproduce the §4.5 single-core ceiling, the
+// SMP rows show what breaking the lock buys at the same core counts.
 func ContentionSweep(window sim.Time, cores []int) ([]ContentionRow, error) {
 	var rows []ContentionRow
-	for _, c := range cores {
-		row, err := httpdContention(c, window)
-		if err != nil {
-			return nil, fmt.Errorf("bench: contention httpd/%dc: %w", c, err)
+	for _, locks := range []string{LocksBKL, LocksSMP} {
+		for _, c := range cores {
+			row, err := httpdContention(locks, c, window)
+			if err != nil {
+				return nil, fmt.Errorf("bench: contention httpd/%s/%dc: %w", locks, c, err)
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
 	}
-	for _, c := range cores {
-		row, err := kvContention(c, window)
-		if err != nil {
-			return nil, fmt.Errorf("bench: contention kvstore/%dc: %w", c, err)
+	for _, locks := range []string{LocksBKL, LocksSMP} {
+		for _, c := range cores {
+			row, err := kvContention(locks, c, window)
+			if err != nil {
+				return nil, fmt.Errorf("bench: contention kvstore/%s/%dc: %w", locks, c, err)
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// contentionWaits folds the wait decomposition and BKL lockstat of a
-// finished run into row. Off-core driver pseudo-processes never compete
-// for server cores or the server BKL in a way the paper's ceiling is
+// contentionWaits folds the wait decomposition and global-lock lockstat of
+// a finished run into row. Off-core driver pseudo-processes never compete
+// for server cores or the server locks in a way the paper's ceiling is
 // about, so they are excluded by image name.
 func contentionWaits(k *kernel.Kernel, lt *sim.LockTable, row *ContentionRow, exclude string) {
 	for _, st := range k.ProcStats() {
@@ -80,13 +125,15 @@ func contentionWaits(k *kernel.Kernel, lt *sim.LockTable, row *ContentionRow, ex
 			continue
 		}
 		row.BKLWaitNS += st.BKLWaitNS
+		row.LockWaitNS += st.LockWaitNS
 		row.CoreWaitNS += st.RunnableWaitNS
 	}
-	if total := row.BKLWaitNS + row.CoreWaitNS; total > 0 {
+	if total := row.LockWaitNS + row.CoreWaitNS; total > 0 {
 		row.BKLShare = float64(row.BKLWaitNS) / float64(total)
 	}
+	global := globalLockName(row.Locks)
 	for _, st := range lt.Snapshot() {
-		if st.Name == "bkl" {
+		if st.Name == global {
 			row.BKLAcquisitions = st.Acquisitions
 			row.BKLWaitersHigh = st.WaitersHighWater
 		}
@@ -96,12 +143,12 @@ func contentionWaits(k *kernel.Kernel, lt *sim.LockTable, row *ContentionRow, ex
 // httpdContention is the Nginx-shaped cell: a fixed four-worker fleet
 // (forked, sharing the listener) hammered by eight closed-loop drivers,
 // at the given core count.
-func httpdContention(cores int, window sim.Time) (ContentionRow, error) {
-	k := build(SysUForkCoPA, cores, 1<<16)
+func httpdContention(locks string, cores int, window sim.Time) (ContentionRow, error) {
+	k := build(contentionSystem(locks), cores, 1<<16)
 	lt := sim.NewLockTable()
 	k.ArmLockstat(lt)
 	k.VFS().WriteFile("/index.html", make([]byte, nginxDocBytes))
-	row := ContentionRow{Workload: "httpd", Cores: cores}
+	row := ContentionRow{Workload: "httpd", Locks: locks, Cores: cores}
 
 	err := runRoot(k, nginxSpec(), func(p *kernel.Proc) error {
 		srv, err := httpd.Start(p, contentionWorkers)
@@ -162,11 +209,11 @@ func kvContentionSpec() kernel.ProgramSpec {
 // kvContention is the Redis-shaped cell: four forked workers rewrite keys
 // and append AOF records in a closed loop while the parent cycles BGSAVE
 // snapshots — every Set, Write, fork and reap crossing the BKL.
-func kvContention(cores int, window sim.Time) (ContentionRow, error) {
-	k := build(SysUForkCoPA, cores, 1<<16)
+func kvContention(locks string, cores int, window sim.Time) (ContentionRow, error) {
+	k := build(contentionSystem(locks), cores, 1<<16)
 	lt := sim.NewLockTable()
 	k.ArmLockstat(lt)
-	row := ContentionRow{Workload: "kvstore", Cores: cores}
+	row := ContentionRow{Workload: "kvstore", Locks: locks, Cores: cores}
 
 	err := runRoot(k, kvContentionSpec(), func(p *kernel.Proc) error {
 		a := alloc.Attach(p)
@@ -207,6 +254,7 @@ func kvContention(cores int, window sim.Time) (ContentionRow, error) {
 				}
 				rec := make([]byte, 128)
 				for i := 0; c.Now() < deadline; i++ {
+					c.Task.Advance(contentionThink)
 					key := fmt.Sprintf("key:%06d", (w*17+i)%contentionKeys)
 					if err := ws.Set(key, val); err != nil {
 						workerErr = err
@@ -263,8 +311,9 @@ func kvContention(cores int, window sim.Time) (ContentionRow, error) {
 }
 
 // RenderContention formats the sweep: throughput next to the wait split,
-// so the one-core ceiling reads directly off the table — added cores stop
-// buying throughput once bkl-share owns the wait.
+// so the one-core ceiling reads directly off the bkl rows — added cores
+// stop buying throughput once glock-share owns the wait — and the smp rows
+// show the split hierarchy converting that share into scaling.
 func RenderContention(rows []ContentionRow) string {
 	var out [][]string
 	for _, r := range rows {
@@ -273,14 +322,45 @@ func RenderContention(rows []ContentionRow) string {
 			unit = "op/s"
 		}
 		out = append(out, []string{
-			r.Workload, fmt.Sprintf("%d", r.Cores),
+			r.Workload, r.Locks, fmt.Sprintf("%d", r.Cores),
 			fmt.Sprintf("%.0f %s", r.ThroughputPerSec, unit),
-			Ms(sim.Time(r.BKLWaitNS)), Ms(sim.Time(r.CoreWaitNS)),
+			Ms(sim.Time(r.BKLWaitNS)), Ms(sim.Time(r.LockWaitNS)), Ms(sim.Time(r.CoreWaitNS)),
 			fmt.Sprintf("%.1f%%", 100*r.BKLShare),
 			fmt.Sprintf("%d", r.BKLAcquisitions),
 			fmt.Sprintf("%d", r.BKLWaitersHigh),
 		})
 	}
-	return "Contention sweep — throughput vs. BKL wait share (§4.5 single-core ceiling)\n" +
-		Table([]string{"workload", "cores", "throughput", "bkl-wait", "core-wait", "bkl-share", "bkl-acq", "waiters-hw"}, out)
+	return "Contention sweep — throughput vs. global-lock wait share (§4.5 ceiling, pre/post lock split)\n" +
+		Table([]string{"workload", "locks", "cores", "throughput", "glock-wait", "lock-wait", "core-wait", "glock-share", "glock-acq", "waiters-hw"}, out)
+}
+
+// CheckContentionScaling asserts the headline gates of the lock split on a
+// finished sweep: the split-lock httpd fleet at 4 cores must clear twice
+// its 1-core throughput, and no split-lock row at 4+ cores may spend more
+// than 40% of its wait on the residual lock (the BKL rows sit near 100%).
+// Used by CI's scaling-smoke job via ufork-bench -check-scaling.
+func CheckContentionScaling(rows []ContentionRow) error {
+	var base1, base4 float64
+	for _, r := range rows {
+		if r.Workload == "httpd" && r.Locks == LocksSMP {
+			switch r.Cores {
+			case 1:
+				base1 = r.ThroughputPerSec
+			case 4:
+				base4 = r.ThroughputPerSec
+			}
+		}
+		if r.Locks == LocksSMP && r.Cores >= 4 && r.BKLShare >= 0.4 {
+			return fmt.Errorf("bench: %s/%dc residual-lock share %.1f%% >= 40%%",
+				r.Workload, r.Cores, 100*r.BKLShare)
+		}
+	}
+	if base1 == 0 || base4 == 0 {
+		return fmt.Errorf("bench: scaling check needs smp httpd rows at 1 and 4 cores")
+	}
+	if base4 < 2*base1 {
+		return fmt.Errorf("bench: smp httpd 4-core throughput %.0f < 2x 1-core %.0f",
+			base4, base1)
+	}
+	return nil
 }

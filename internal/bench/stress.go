@@ -18,13 +18,17 @@ type StressRow struct {
 	Res   chaos.Result
 	Err   error
 	Clean bool // true when this cell ran without fault injection
+	SMP   bool // true when this cell ran on the split-lock machine
 }
 
 // Stress soaks the kernel: for each round it runs every copy mode ×
 // isolation level twice — once clean (pure differential fuzzing) and once
 // under the aggressive fault plan — with a per-round seed derived from
-// the base seed. Every row's failure, if any, carries its own one-line
-// repro, so a soak that dies overnight replays from the log.
+// the base seed. The μFork copy mode additionally runs each cell on the
+// split-lock SMP machine, so the fine-grained lock plane soaks under the
+// same seeded schedules and fault plans as the big kernel lock. Every
+// row's failure, if any, carries its own one-line repro, so a soak that
+// dies overnight replays from the log.
 func Stress(seed int64, rounds, maxOps int) []StressRow {
 	modes := []core.CopyMode{core.CopyOnPointerAccess, core.CopyOnAccess, core.CopyFull}
 	isos := []kernel.IsolationLevel{kernel.IsolationNone, kernel.IsolationFault, kernel.IsolationFull}
@@ -36,12 +40,19 @@ func Stress(seed int64, rounds, maxOps int) []StressRow {
 		for _, mode := range modes {
 			for _, iso := range isos {
 				for _, clean := range []bool{true, false} {
-					cfg := chaos.Config{Mode: mode, Iso: iso, Seed: rseed, MaxOps: maxOps, ProgBytes: 4 * maxOps}
-					if !clean {
-						cfg.Plan = chaos.Aggressive()
+					for _, smp := range []bool{false, true} {
+						// The SMP soak covers the lock plane, not the copy
+						// engine; one copy mode keeps the matrix bounded.
+						if smp && mode != core.CopyOnPointerAccess {
+							continue
+						}
+						cfg := chaos.Config{Mode: mode, Iso: iso, Seed: rseed, SMP: smp, MaxOps: maxOps, ProgBytes: 4 * maxOps}
+						if !clean {
+							cfg.Plan = chaos.Aggressive()
+						}
+						res, err := chaos.Run(cfg, nil)
+						rows = append(rows, StressRow{Mode: mode, Iso: iso, Seed: rseed, Res: res, Err: err, Clean: clean, SMP: smp})
 					}
-					res, err := chaos.Run(cfg, nil)
-					rows = append(rows, StressRow{Mode: mode, Iso: iso, Seed: rseed, Res: res, Err: err, Clean: clean})
 				}
 			}
 		}
@@ -74,6 +85,9 @@ func RenderStress(rows []StressRow) string {
 			for _, v := range r.Res.Injected {
 				inj += v
 			}
+		}
+		if r.SMP {
+			plan += "+smp"
 		}
 		status := "ok"
 		if r.Err != nil {
@@ -142,6 +156,9 @@ func renderStressProcs(rows []StressRow) string {
 		plan := "clean"
 		if !c.row.Clean {
 			plan = "aggressive"
+		}
+		if c.row.SMP {
+			plan += "+smp"
 		}
 		st := c.stat
 		out = append(out, []string{

@@ -68,6 +68,51 @@ func TestRandomSchedulesUnderFire(t *testing.T) {
 	}
 }
 
+// TestChaosSMP runs the seeded random-schedule matrix on the split-lock
+// SMP machine: every isolation level, clean and under the aggressive
+// fault plan, with the fine-grained lock plane and per-CPU frame caches
+// live underneath the differential fuzzer and the invariant audits
+// (including the frame conservation law, which must count cached frames
+// as free). A same-seed replay must also stay deterministic on SMP —
+// the lock plane is virtual, so handoff order is part of the schedule.
+func TestChaosSMP(t *testing.T) {
+	maxOps := 6000
+	if testing.Short() {
+		maxOps = 1500
+	}
+	for _, iso := range allIsos {
+		for _, aggressive := range []bool{false, true} {
+			name := fmt.Sprintf("%s/clean", iso)
+			if aggressive {
+				name = fmt.Sprintf("%s/aggressive", iso)
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Mode: core.CopyOnPointerAccess, Iso: iso, Seed: 11, SMP: true,
+					MaxOps: maxOps, ProgBytes: 4 * maxOps}
+				if aggressive {
+					cfg.Plan = Aggressive()
+				}
+				if !strings.Contains(cfg.Repro(), "smp=true") {
+					t.Fatalf("repro line does not carry the SMP flag: %s", cfg.Repro())
+				}
+				res, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 || res.Checks == 0 {
+					t.Fatalf("degenerate run: %+v", res)
+				}
+				res2, err2 := Run(cfg, nil)
+				if err2 != nil || !reflect.DeepEqual(res, res2) {
+					t.Fatalf("SMP run does not replay from its seed:\n  %+v\n  %+v (err %v)", res, res2, err2)
+				}
+				t.Logf("ops=%d forks=%d maxLive=%d checks=%d injected=%v",
+					res.Ops, res.Forks, res.MaxLive, res.Checks, res.Injected)
+			})
+		}
+	}
+}
+
 // TestDeterminism: the whole harness — program generation, fault
 // schedule, simulation — must replay identically from the seed.
 func TestDeterminism(t *testing.T) {

@@ -38,6 +38,11 @@ type Config struct {
 	// ProgBytes sizes the generated program when Run receives a nil
 	// program; 0 selects 2048.
 	ProgBytes int
+	// SMP runs the program on the split-lock machine (model.UForkSMP)
+	// instead of the BKL machine: same costs, fine-grained lock hierarchy,
+	// per-CPU frame caches. The shadow model is lock-agnostic, so the same
+	// programs verify both configurations.
+	SMP bool
 	// mutate, when set (tests only), sabotages the kernel after arming so
 	// the harness can prove it catches deliberately broken kernels.
 	mutate func(k *kernel.Kernel)
@@ -45,7 +50,7 @@ type Config struct {
 
 // Repro returns the one-line reproduction string every failure carries.
 func (cfg Config) Repro() string {
-	return fmt.Sprintf("mode=%s iso=%s seed=%d plan=%+v", cfg.Mode, cfg.Iso, cfg.Seed, cfg.Plan)
+	return fmt.Sprintf("mode=%s iso=%s seed=%d smp=%v plan=%+v", cfg.Mode, cfg.Iso, cfg.Seed, cfg.SMP, cfg.Plan)
 }
 
 // Result summarises one chaos run.
@@ -128,8 +133,12 @@ func Run(cfg Config, prog []byte) (Result, error) {
 	fr.Enable()
 
 	eng := core.New(cfg.Mode)
+	machine := model.UFork(2)
+	if cfg.SMP {
+		machine = model.UForkSMP(2)
+	}
 	k := kernel.New(kernel.Config{
-		Machine:   model.UFork(2),
+		Machine:   machine,
 		Engine:    eng,
 		Isolation: cfg.Iso,
 		Frames:    cfg.Frames,

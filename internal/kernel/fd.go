@@ -161,7 +161,7 @@ func (r *PipeReader) Read(k *Kernel, p *Proc, buf []byte) (int, error) {
 		if c.writers == 0 {
 			return 0, nil // EOF
 		}
-		p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p.Task, func() {
+		p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p, func() {
 			c.rq.Wait(p.Task)
 		})))
 		blocked = true
@@ -205,7 +205,7 @@ func (w *PipeWriter) Write(k *Kernel, p *Proc, buf []byte) (int, error) {
 		}
 		space := c.cap - len(c.buf)
 		if space == 0 {
-			p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p.Task, func() {
+			p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p, func() {
 				c.wq.Wait(p.Task)
 			})))
 			k.chargeSwitch(p)
@@ -314,7 +314,7 @@ func (l *Listener) Accept(p *Proc) (*Conn, error) {
 		if l.closed {
 			return nil, ErrPipeClosed
 		}
-		p.Acct.BlockNetNS.Add(uint64(blockAccounted(p.Task, func() {
+		p.Acct.BlockNetNS.Add(uint64(blockAccounted(p, func() {
 			l.aq.Wait(p.Task)
 		})))
 		blocked = true

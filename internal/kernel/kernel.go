@@ -259,8 +259,17 @@ type Kernel struct {
 	// KernelRegion hosts the kernel image in the shared address space.
 	KernelRegion Region
 
-	// bkl is the big kernel lock serializing kernel execution (§4.5).
-	bkl sim.VLock
+	// locks is the kernel lock plane. On BigKernelLock machines every
+	// syscall serializes on locks.global — the §4.5 BKL, kept as a legacy
+	// (zero-value) VLock so its virtual-exclusion semantics and every
+	// pre-split golden are byte-identical. On FineGrainedLocks machines
+	// the footprint splits: each μprocess carries its own lock and FD-table
+	// lock (Proc.lk / Proc.fdlk), the proc table is sharded, the tmem
+	// allocator has its own lock with per-CPU frame caches, and
+	// locks.global shrinks to the narrow residual lock covering the few
+	// genuinely global operations (PID allocation, region release/reuse,
+	// exit reparenting). See DESIGN.md "Kernel locking".
+	locks lockPlane
 
 	// sentry is the sealed kernel entry capability handed to μprocesses
 	// (§4.4, principle 1). There is no other way into the kernel.
@@ -315,14 +324,89 @@ type Kernel struct {
 	// mappings that the provenance plane must attribute to it.
 	forkChild *Proc
 
-	// Locks, when non-nil, is the armed lockstat table: the BKL as a real
-	// metered lock, plus shadow meters for the subsystems the BKL already
-	// serializes (proc table, FD table, tmem). Armed via ArmLockstat; nil
+	// Locks, when non-nil, is the armed lockstat table. On BKL machines the
+	// BKL is a real metered lock and lkProc/lkFD/lkTmem are shadow meters
+	// for the subsystems the BKL serializes on its behalf. On fine-grained
+	// machines every lock in the hierarchy is a real metered lock: the
+	// shadow trio stays nil and lkUproc/lkFDT are the shared per-class
+	// meters the per-μprocess locks attach to. Armed via ArmLockstat; nil
 	// in production, where every site pays one nil check.
-	Locks  *sim.LockTable
-	lkProc *sim.LockMeter
-	lkFD   *sim.LockMeter
-	lkTmem *sim.LockMeter
+	Locks   *sim.LockTable
+	lkProc  *sim.LockMeter
+	lkFD    *sim.LockMeter
+	lkTmem  *sim.LockMeter
+	lkUproc *sim.LockMeter
+	lkFDT   *sim.LockMeter
+}
+
+// Lock-ordering ranks of the split kernel lock hierarchy. Acquisition must
+// ascend: μprocess locks first (in ascending-PID order within the rank),
+// then a proc-table shard, the owning FD table, the tmem allocator, and the
+// residual global lock innermost. sim.VLock's ordering assertion enforces
+// this against each task's held stack.
+const (
+	lockRankUProc     = 10
+	lockRankProcTable = 20
+	lockRankFDTable   = 30
+	lockRankTmem      = 40
+	lockRankGlobal    = 50
+)
+
+// procTableShards is the shard count of the split proc-table lock: enough
+// that an 8-core fork storm rarely collides on one shard, small enough to
+// stay readable in /locks.
+const procTableShards = 8
+
+// lockPlane is the kernel's lock inventory (see the Kernel.locks comment).
+// Per-μprocess locks live on the Proc itself.
+type lockPlane struct {
+	global sim.VLock
+	shards [procTableShards]sim.VLock
+	tmem   sim.VLock
+}
+
+// shardFor returns the proc-table shard lock covering pid.
+func (k *Kernel) shardFor(pid PID) *sim.VLock {
+	return &k.locks.shards[int(pid)%procTableShards]
+}
+
+// initProcLocks places a new μprocess's locks in the ordering hierarchy —
+// the PID is the intra-rank sequence, so parent/child and signal pairs are
+// always taken in ascending-PID canonical order — and attaches the shared
+// per-class meters when lockstat is armed. Called for every Proc; on BKL
+// machines the locks are initialized but never acquired.
+func (k *Kernel) initProcLocks(p *Proc) {
+	p.lk.Init("uproc", lockRankUProc, int(p.PID))
+	p.fdlk.Init("fdtable", lockRankFDTable, int(p.PID))
+	if k.Locks != nil && k.Machine.FineGrainedLocks {
+		p.lk.SetMeter(k.lkUproc)
+		p.fdlk.SetMeter(k.lkFDT)
+	}
+}
+
+// lockRemote takes target's μprocess lock from p's syscall context in the
+// canonical ascending-PID pair order: a higher-PID target nests inside p's
+// own lock, while a lower-PID target requires releasing p.lk and re-taking
+// the pair in order. No-op outside fine-grained mode or for p itself.
+func (k *Kernel) lockRemote(p, target *Proc) {
+	if !k.Machine.FineGrainedLocks || target == p {
+		return
+	}
+	if target.PID > p.PID {
+		k.lockWait(p, &target.lk)
+		return
+	}
+	p.lk.Unlock(p.Task)
+	k.lockWait(p, &target.lk)
+	k.lockWait(p, &p.lk)
+}
+
+// unlockRemote undoes lockRemote.
+func (k *Kernel) unlockRemote(p, target *Proc) {
+	if !k.Machine.FineGrainedLocks || target == p {
+		return
+	}
+	target.lk.Unlock(p.Task)
 }
 
 // SyscallFailer is the syscall-level fault-injection hook: it returns a
@@ -434,6 +518,20 @@ func New(cfg Config) *Kernel {
 	if cfg.Machine.SingleAddressSpace {
 		k.SharedAS = vm.NewAddressSpace(k.Mem)
 	}
+	if cfg.Machine.FineGrainedLocks {
+		// Arm the split lock hierarchy. On BKL machines locks.global stays a
+		// zero-value legacy VLock — its virtual-exclusion semantics (and
+		// therefore every pre-split timeline) are untouched.
+		k.locks.global.Init("residual", lockRankGlobal, 0)
+		for i := range k.locks.shards {
+			k.locks.shards[i].Init("proctable", lockRankProcTable, i)
+		}
+		k.locks.tmem.Init("tmem", lockRankTmem, 0)
+		// Per-CPU frame caches give the fault path its allocator-lock-free
+		// fast path; BKL/POSIX machines skip this so their PFN ordering (and
+		// golden output) is bit-identical.
+		k.Mem.EnableCPUCaches(cfg.Machine.Cores, 0)
+	}
 	if cfg.ASLRSeed != 0 {
 		k.Regions.aslr = rand.New(rand.NewSource(cfg.ASLRSeed))
 	}
@@ -471,20 +569,44 @@ func (k *Kernel) ArmMemmap(pl *memmap.Plane) {
 	k.Mem.SetCopyObserver(func(dst, src tmem.PFN) { k.Memmap.OnCopy(dst, src) })
 }
 
-// ArmLockstat attaches a lockstat table: the BKL becomes a named metered
-// lock, and the BKL-serialized proc-table/FD-table/tmem sites get shadow
-// meters that count entries and credited hold time (they have no lock of
-// their own to bracket — that is exactly what the BKL-splitting refactor
-// will change, and these meters are its before/after yardstick). Also
-// arms scheduler statistics on the engine. Arm before the simulation
-// runs; metering never mutates virtual clocks, so timelines are unchanged.
+// ArmLockstat attaches a lockstat table. On BKL machines the BKL becomes a
+// named metered lock and the BKL-serialized proc-table/FD-table/tmem sites
+// get shadow meters that count entries and credited hold time (they have no
+// lock of their own to bracket — the before yardstick). On fine-grained
+// machines every real lock in the split hierarchy is metered, reusing the
+// shadow meters' names ("proctable", "fdtable", "tmem") so pre-split
+// baselines stay comparable in /locks and the ufork_lock_* families; the
+// BKL's successor appears as the narrow "residual" lock and the new
+// per-μprocess locks share a "uproc" class meter. Also arms scheduler
+// statistics on the engine. Arm before the simulation runs; metering never
+// mutates virtual clocks, so timelines are unchanged.
 func (k *Kernel) ArmLockstat(lt *sim.LockTable) {
 	lt.Reset()
 	k.Locks = lt
-	k.bkl.SetMeter(lt.Meter("bkl", "kernel.enter"))
-	k.lkProc = lt.Meter("proctable", "kernel.procMu")
-	k.lkFD = lt.Meter("fdtable", "kernel.FDTable")
-	k.lkTmem = lt.Meter("tmem", "tmem.Memory")
+	if k.Machine.FineGrainedLocks {
+		k.locks.global.SetMeter(lt.Meter("residual", "kernel.lockPlane.global"))
+		// Class meters are shared by every lock of the class (all the
+		// proc-table shards; every Proc's lk/fdlk), so their waiters-high
+		// watermark reads as a class-wide convoy estimate.
+		shardMeter := lt.Meter("proctable", "kernel.lockPlane.shards")
+		for i := range k.locks.shards {
+			k.locks.shards[i].SetMeter(shardMeter)
+		}
+		k.locks.tmem.SetMeter(lt.Meter("tmem", "tmem.Memory"))
+		k.lkUproc = lt.Meter("uproc", "kernel.Proc.lk")
+		k.lkFDT = lt.Meter("fdtable", "kernel.Proc.fdlk")
+		k.procMu.RLock()
+		for _, p := range k.procs {
+			p.lk.SetMeter(k.lkUproc)
+			p.fdlk.SetMeter(k.lkFDT)
+		}
+		k.procMu.RUnlock()
+	} else {
+		k.locks.global.SetMeter(lt.Meter("bkl", "kernel.enter"))
+		k.lkProc = lt.Meter("proctable", "kernel.procMu")
+		k.lkFD = lt.Meter("fdtable", "kernel.FDTable")
+		k.lkTmem = lt.Meter("tmem", "tmem.Memory")
+	}
 	if k.Eng.Sched() == nil {
 		k.Eng.ArmSched(sim.NewSchedStats(k.Eng.Cores()))
 	}
@@ -581,9 +703,11 @@ func (k *Kernel) ReserveRegion(size uint64, name string) Region {
 	return k.Regions.reserve(size, name)
 }
 
-// BKLContended reports how many big-kernel-lock acquisitions had to wait —
-// the SMP serialization the paper discusses in §4.5.
-func (k *Kernel) BKLContended() uint64 { return k.bkl.Contended() }
+// BKLContended reports how many acquisitions of the global serializing lock
+// had to wait — the big kernel lock on BKL machines (the SMP serialization
+// the paper discusses in §4.5), or the narrow residual lock once the
+// hierarchy is split.
+func (k *Kernel) BKLContended() uint64 { return k.locks.global.Contended() }
 
 // Run drives the simulation to completion.
 func (k *Kernel) Run() { k.Eng.Run() }
@@ -648,10 +772,32 @@ func (k *Kernel) terminate(p *Proc, status int) {
 	if p.exited {
 		return
 	}
+	fg := k.Machine.FineGrainedLocks
+	t := p.Task
+	// Whether the region can be reclaimed is known before teardown starts,
+	// so the residual lock can join the pre-acquired footprint below.
+	releaseRegion := k.Machine.SingleAddressSpace && p.Parent != nil && p.Forked == 0
+	if fg {
+		// The whole exit footprint is taken before the first state change,
+		// in hierarchy order: our own μprocess lock, the FD table, the tmem
+		// allocator, and — when the region is reclaimable — the residual
+		// global lock. Every park of the exit path therefore happens while
+		// the process is still fully intact; once teardown begins (zombie
+		// flag, descriptor drain, unmap, region release) it runs to
+		// completion without yielding, so no concurrent audit or table
+		// walker can observe the image half-gone.
+		k.lockWait(p, &p.lk)
+		k.lockWait(p, &p.fdlk)
+		k.Mem.SetCPU(t.LastCore())
+		k.lockWait(p, &k.locks.tmem)
+		if releaseRegion {
+			k.lockWait(p, &k.locks.global)
+		}
+	}
 	p.exited = true
 	p.exitStatus = status
 	if k.Flight.On() {
-		k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindProcExit, uint64(status), 0, 0)
+		k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindProcExit, uint64(status), 0, 0)
 	}
 	k.curPID = p.PID
 	p.FDs.CloseAll(k, p)
@@ -676,15 +822,37 @@ func (k *Kernel) terminate(p *Proc, status int) {
 	// behind; its region returns to the size-class free list. Only
 	// meaningful in the single address space — the multi-AS baselines
 	// give every process the same virtual range.
-	if k.Machine.SingleAddressSpace && p.Parent != nil && p.Forked == 0 {
+	if releaseRegion {
 		k.Regions.release(p.Region)
 	}
+	if fg {
+		// Teardown done: unwind the footprint innermost-first, down to our
+		// own μprocess lock (released in the reparenting branches below).
+		if releaseRegion {
+			k.locks.global.Unlock(t)
+		}
+		k.locks.tmem.Unlock(t)
+		p.fdlk.Unlock(t)
+	}
 	if p.Parent != nil && !p.Parent.exited {
+		if fg {
+			// Reparenting pokes the parent's state (SIGCHLD, waiter wake):
+			// drop our own lock first — the parent's seq orders before ours —
+			// and take the parent's.
+			p.lk.Unlock(t)
+			k.lockWait(p, &p.Parent.lk)
+		}
 		k.notifyChild(p.Parent)
-		p.Parent.childExit.WakeAll(p.Task, p.Task.Now())
+		p.Parent.childExit.WakeAll(t, t.Now())
+		if fg {
+			p.Parent.lk.Unlock(t)
+		}
 	} else {
+		if fg {
+			p.lk.Unlock(t)
+		}
 		// No parent to reap us: self-reap.
-		k.reap(p)
+		k.reap(p, p)
 	}
 }
 

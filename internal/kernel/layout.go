@@ -186,6 +186,7 @@ func (k *Kernel) load(spec ProgramSpec) (*Proc, error) {
 		Region: region,
 		FDs:    NewFDTable(),
 	}
+	k.initProcLocks(p)
 	k.procMu.Lock()
 	k.procs[p.PID] = p
 	k.procMu.Unlock()

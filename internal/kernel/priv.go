@@ -46,8 +46,12 @@ func (k *Kernel) Kill(p *Proc, pid PID) error {
 	// Terminate the victim: mark it and let its next kernel entry unwind.
 	// The simulation cannot interrupt a task asynchronously, so the kill
 	// lands at the victim's next syscall — the same visibility a signal
-	// has on a kernel that only delivers at the user/kernel boundary.
+	// has on a kernel that only delivers at the user/kernel boundary. On
+	// split machines the mark is a cross-μprocess poke, taken under the
+	// victim's lock in canonical pair order.
+	k.lockRemote(p, target)
 	target.killed = true
+	k.unlockRemote(p, target)
 	return nil
 }
 
@@ -77,7 +81,17 @@ func (k *Kernel) checkKilled(p *Proc) {
 func (k *Kernel) PosixSpawn(p *Proc, spec ProgramSpec, entry func(*Proc)) (PID, error) {
 	k.enter(p, SysPosixSpawn, 0)
 	defer k.leave(p)
+	// Image load allocates a PID, reserves a region and inserts into the
+	// process table — global work, bracketed by the residual lock on split
+	// machines (load itself stays lock-free for the boot path, which has no
+	// running task to park).
+	if k.Machine.FineGrainedLocks {
+		k.lockWait(p, &k.locks.global)
+	}
 	child, err := k.load(spec)
+	if k.Machine.FineGrainedLocks {
+		k.locks.global.Unlock(p.Task)
+	}
 	if err != nil {
 		return 0, err
 	}

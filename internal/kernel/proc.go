@@ -94,6 +94,14 @@ type Proc struct {
 	sysSpan  obs.Span
 	sysEnter sim.Time
 	sysNo    SysNo
+
+	// lk is the μprocess lock — the per-process footprint every syscall
+	// acquires on fine-grained machines (rank uproc, seq = PID) — and fdlk
+	// guards the descriptor table (rank fdtable). Initialized strict by
+	// initProcLocks for every Proc; on BKL machines they are never
+	// acquired, the BKL serializing instead. See kernel.lockPlane.
+	lk   sim.VLock
+	fdlk sim.VLock
 }
 
 // Kernel returns the owning kernel.
@@ -164,10 +172,27 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		// CoPA relocation) without knowing which engine ran.
 		st := &p.AS.Stats
 		copied0, adopted0, relocs0 := st.PagesCopied.Value(), st.PagesAdopted.Value(), st.CapsRelocated.Value()
+		// Fine-grained fault path: point the allocator at the faulting CPU's
+		// frame cache, and take the shared tmem lock only when that cache
+		// cannot cover the fault — the split allocator's lock-free fast
+		// path. A fault that resolves from the cache (the common CoW case)
+		// never serializes on the allocator at all.
+		tmemHeld := false
+		if p.k.Machine.FineGrainedLocks {
+			p.k.Mem.SetCPU(p.Task.LastCore())
+			if !p.k.Mem.CacheReady(1) {
+				p.k.lockWait(p, &p.k.locks.tmem)
+				p.k.Mem.RefillCache()
+				tmemHeld = true
+			}
+		}
 		phase0 := p.k.memPhase
 		p.k.memPhase = memmap.OriginDemand
 		err := p.k.Engine.HandleFault(p.k, p, fault, acc)
 		p.k.memPhase = phase0
+		if tmemHeld {
+			p.k.locks.tmem.Unlock(p.Task)
+		}
 		sp.End(uint64(p.Task.Now()), obs.A("va", fault.VA))
 		if err != nil {
 			// Double-wrap so errors.Is sees both the segfault and the

@@ -67,10 +67,12 @@ type Accounting struct {
 	PendingPages     obs.Gauge
 
 	// Kernel-side delay attribution, refining the sim task's taxonomy:
-	// BKLWaitNS is the slice of lock-wait spent entering this kernel's big
-	// lock; FaultServiceNS is clock time inside the page-fault path (trap
-	// cost plus resolution); the Block*NS counters split parked time by
-	// what the process slept on.
+	// BKLWaitNS is the slice of lock-wait spent on the kernel's global
+	// serializing lock — the big kernel lock, or the narrow residual lock
+	// on machines with the split hierarchy (the counter keeps its name and
+	// JSON field so pre/post-split sweeps compare directly); FaultServiceNS
+	// is clock time inside the page-fault path (trap cost plus resolution);
+	// the Block*NS counters split parked time by what the process slept on.
 	BKLWaitNS      obs.Counter
 	FaultServiceNS obs.Counter
 	BlockPipeNS    obs.Counter
@@ -221,11 +223,26 @@ func (p *Proc) Stat() ProcStat {
 
 // blockAccounted runs wait (which parks the task) and returns the parked
 // virtual time the sleep accrued, so blocking sites can attribute it to a
-// cause counter (pipe, socket, child).
-func blockAccounted(t *sim.Task, wait func()) sim.Time {
+// cause counter (pipe, socket, child). On fine-grained machines a sleeping
+// task first releases every strict kernel lock it holds — a parked holder
+// would wedge the FIFO handoff queues exactly the way a sleeping lock
+// holder wedges a real kernel — and re-acquires the same footprint in
+// hierarchy order on wake. The legacy BKL is not on the held stack; its
+// virtual-exclusion semantics tolerate a parked holder, so BKL-machine
+// behavior is unchanged.
+func blockAccounted(p *Proc, wait func()) sim.Time {
+	t := p.Task
+	held := t.HeldLocks()
+	for i := len(held) - 1; i >= 0; i-- {
+		held[i].Unlock(t)
+	}
 	b0 := t.Delay(sim.DelayBlocked)
 	wait()
-	return t.Delay(sim.DelayBlocked) - b0
+	d := t.Delay(sim.DelayBlocked) - b0
+	for _, l := range held {
+		p.k.lockWait(p, l)
+	}
+	return d
 }
 
 // deadStatsCap bounds the reaped-process history: enough for a whole
@@ -235,11 +252,20 @@ const deadStatsCap = 128
 
 // reap removes p from the live table and retires its final accounting
 // snapshot into the bounded dead ring. PIDs are never reused, so a
-// retired snapshot can never collide with a live row in ProcStats.
-func (k *Kernel) reap(p *Proc) {
+// retired snapshot can never collide with a live row in ProcStats. The
+// reaping process `by` (the waiting parent, or p itself on self-reap)
+// supplies the running task that brackets the proc-table shard lock on
+// fine-grained machines; BKL machines keep the shadow-meter credit.
+func (k *Kernel) reap(p *Proc, by *Proc) {
 	st := p.Stat()
 	st.Exited = true
-	k.lkProc.Acquire(p.Task.Now())
+	if k.Machine.FineGrainedLocks {
+		sh := k.shardFor(p.PID)
+		k.lockWait(by, sh)
+		defer sh.Unlock(by.Task)
+	} else {
+		k.lkProc.Acquire(p.Task.Now())
+	}
 	k.procMu.Lock()
 	delete(k.procs, p.PID)
 	k.dead = append(k.dead, st)

@@ -64,11 +64,17 @@ func (k *Kernel) SignalPID(p *Proc, pid PID, sig Signal) error {
 	if target.exited {
 		return nil
 	}
+	// Posting into another μprocess's signal state is a cross-process
+	// mutation: on split machines take the target's lock in canonical
+	// ascending-PID pair order (no-op for self-signal, where enter already
+	// holds p.lk).
+	k.lockRemote(p, target)
 	if sig == SIGKILL {
 		target.killed = true
-		return nil
+	} else {
+		target.sig.pending = append(target.sig.pending, sig)
 	}
-	target.sig.pending = append(target.sig.pending, sig)
+	k.unlockRemote(p, target)
 	return nil
 }
 

@@ -54,23 +54,43 @@ func (k *Kernel) enter(p *Proc, no SysNo, bufBytes int) {
 		// The copy is CPU work, so it occupies a core.
 		t.Book(k.Machine.TocttouFixed + sim.Time(bufBytes/k.Machine.TocttouBytesPerNs) + 1)
 	}
-	if k.Machine.BigKernelLock {
-		// Attribute the lock-wait delta this acquisition adds to the BKL:
-		// the VLock charges DelayLockWait, and the BKL is the only VLock a
-		// μprocess ever takes, so the delta is exact.
-		w0 := t.Delay(sim.DelayLockWait)
-		k.bkl.Lock(t)
-		if w := t.Delay(sim.DelayLockWait) - w0; w > 0 {
-			p.Acct.BKLWaitNS.Add(uint64(w))
-			if k.Flight.On() {
-				k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindLockWait,
-					uint64(w), uint64(no), 0)
-			}
-		}
-	} else {
+	switch {
+	case k.Machine.BigKernelLock:
+		// Whole-kernel serialization: every syscall takes the BKL (§4.5).
+		k.lockWait(p, &k.locks.global)
+	case k.Machine.FineGrainedLocks:
+		// Split hierarchy: the baseline footprint is only the caller's own
+		// μprocess lock — uncontended unless another process is poking this
+		// one (signal, kill, exit reparenting). Syscalls that touch more
+		// state bracket the wider locks themselves, in rank order.
+		k.lockWait(p, &p.lk)
+	default:
 		t.Sync()
 	}
 	t.Advance(k.Machine.SyscallBase)
+}
+
+// lockWait acquires l for p, attributing any lock-wait delta the
+// acquisition adds: waits on the global serializing lock (BKL or residual)
+// land in Acct.BKLWaitNS, and any contended acquisition emits a
+// KindLockWait flight event tagged with the in-flight syscall. On the BKL
+// itself the delta is exact — it is the only lock a BKL-machine μprocess
+// ever takes.
+func (k *Kernel) lockWait(p *Proc, l *sim.VLock) {
+	t := p.Task
+	w0 := t.Delay(sim.DelayLockWait)
+	l.Lock(t)
+	w := t.Delay(sim.DelayLockWait) - w0
+	if w == 0 {
+		return
+	}
+	if l == &k.locks.global {
+		p.Acct.BKLWaitNS.Add(uint64(w))
+	}
+	if k.Flight.On() {
+		k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindLockWait,
+			uint64(w), uint64(p.sysNo), 0)
+	}
 }
 
 // chargeSwitch bills one scheduler context switch to p: register state,
@@ -90,11 +110,17 @@ func (k *Kernel) chargeSwitch(p *Proc) {
 	k.Stats.CtxSwitches.Inc()
 }
 
-// exit charges the kernel→user transition and releases the big kernel
-// lock.
+// leave charges the kernel→user transition and releases the syscall's lock
+// footprint: the BKL on BKL machines, or — on split machines — every strict
+// lock the task still holds, innermost first. ReleaseAll doubles as a leak
+// guard for early error returns and is idempotent, which the self-kill path
+// (explicit leave, then a second via the deferred one) relies on; the legacy
+// BKL Unlock tolerates the same double release, as it always has.
 func (k *Kernel) leave(p *Proc) {
 	if k.Machine.BigKernelLock {
-		k.bkl.Unlock(p.Task)
+		k.locks.global.Unlock(p.Task)
+	} else if k.Machine.FineGrainedLocks {
+		p.Task.ReleaseAll()
 	}
 	p.Task.Advance(k.Machine.SyscallExit)
 	if k.Flight.On() {
@@ -154,13 +180,39 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 
 	child := &Proc{
 		k:          k,
-		PID:        k.allocPID(),
 		Spec:       p.Spec,
 		Layout:     p.Layout,
 		Parent:     p,
 		Gen:        p.Gen + 1,
 		OriginBase: p.Region.Base,
 		BrkPages:   p.BrkPages,
+	}
+	fg := k.Machine.FineGrainedLocks
+	if fg {
+		// PID allocation is one of the few genuinely global operations left
+		// after the split: a narrow residual-lock bracket replaces the BKL.
+		k.lockWait(p, &k.locks.global)
+		child.PID = k.allocPID()
+		k.locks.global.Unlock(p.Task)
+		k.initProcLocks(child)
+		// Hold the child's μprocess lock for the rest of the fork — parent
+		// then child is the canonical ascending-PID pair order — so nothing
+		// can poke the half-built child; leave releases it when fork
+		// returns, at which point the child may run.
+		k.lockWait(p, &child.lk)
+		// The table shard is taken now, before the engine builds the child's
+		// image, and held until the insert below. Parking between copy and
+		// insert would expose a torn state — child mappings live in the
+		// shared address space with their owner not yet in the table — to
+		// any concurrently running audit or table walker. Every park point
+		// must sit at a consistent kernel state; that contract is what makes
+		// lock-free observers (and sleeps that release locks) legal.
+		k.lockWait(p, k.shardFor(child.PID))
+		// Route the engine's eager copies to the forking CPU's frame cache.
+		k.Mem.SetCPU(p.Task.LastCore())
+	} else {
+		child.PID = k.allocPID()
+		k.initProcLocks(child)
 	}
 	// While the engine runs, frames it allocates are eager fork copies
 	// attributed to the child — which is not yet in the process table, so
@@ -181,10 +233,11 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	child.FDs = p.FDs.Dup()
 	stats.FixupTime = sim.Time(child.FDs.Len())*k.Machine.FDDup + k.Machine.ForkFixed
 	stats.Latency += stats.FixupTime
-	if k.Locks != nil {
+	if k.Locks != nil && !fg {
 		// Shadow-lock accounting: fork walks the FD table and tmem under
 		// BKL protection; credit those sections' virtual cost so lockstat
-		// shows what a split lock would have to serialize.
+		// shows what a split lock would have to serialize. (Fine-grained
+		// machines take the real locks below instead.)
 		now := p.Task.Now()
 		k.lkFD.Acquire(now)
 		k.lkFD.ObserveHold(stats.FixupTime)
@@ -192,10 +245,18 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 		k.lkTmem.ObserveHold(stats.EagerCopyTime)
 	}
 
-	k.lkProc.Acquire(p.Task.Now())
-	k.procMu.Lock()
-	k.procs[child.PID] = child
-	k.procMu.Unlock()
+	if fg {
+		// Shard already held since before the engine copy (see above).
+		k.procMu.Lock()
+		k.procs[child.PID] = child
+		k.procMu.Unlock()
+		k.shardFor(child.PID).Unlock(p.Task)
+	} else {
+		k.lkProc.Acquire(p.Task.Now())
+		k.procMu.Lock()
+		k.procs[child.PID] = child
+		k.procMu.Unlock()
+	}
 	p.children = append(p.children, child)
 
 	// Fork cost attribution (§5.1): bytes physically copied and
@@ -244,8 +305,22 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 
 	// The fork call's latency is charged to the parent; the child begins
 	// at the moment fork completes, exactly like the paper's latency
-	// metric ("time needed for the fork call to complete", §5.1).
-	p.Task.Advance(stats.Latency)
+	// metric ("time needed for the fork call to complete", §5.1). On split
+	// machines the charge is bracketed by the locks that own each phase —
+	// the memory-side work (reserve/PTE-copy/eager-copy/scan) under the
+	// tmem allocator lock, descriptor duplication and the fixed fixup under
+	// the parent's FD-table lock — so lockstat hold times show what each
+	// subsystem actually serializes. The total advanced is identical.
+	if fg {
+		k.lockWait(p, &k.locks.tmem)
+		p.Task.Advance(stats.Latency - stats.FixupTime)
+		k.locks.tmem.Unlock(p.Task)
+		k.lockWait(p, &p.fdlk)
+		p.Task.Advance(stats.FixupTime)
+		p.fdlk.Unlock(p.Task)
+	} else {
+		p.Task.Advance(stats.Latency)
+	}
 	p.LastFork = stats
 	k.startProc(child, p.Task.Now(), childEntry)
 	return child.PID, nil
@@ -259,13 +334,28 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 // address space; the invariant checker audits exactly this under injected
 // allocation exhaustion.
 func (k *Kernel) abortFork(p, child *Proc) {
+	fg := k.Machine.FineGrainedLocks
 	if child.AS != nil && child.Region.Size > 0 {
+		// The unmap runs without the allocator lock even on split machines:
+		// parking here would leave the half-built child's mappings visible
+		// with no owner anywhere (it never reached the process table), a torn
+		// state a concurrent audit would flag. The teardown is host-atomic,
+		// and the freed frames return through the forking CPU's cache, which
+		// needs no lock.
 		if err := child.AS.UnmapRange(child.Region.Base, child.Region.Size); err != nil {
 			panic("kernel: fork abort unmap: " + err.Error())
 		}
 	}
 	if k.Machine.SingleAddressSpace && child.Region.Size > 0 && child.Region.Base != p.Region.Base {
+		// Post-unmap the state is consistent again (the region is merely
+		// still reserved), so the residual-lock park is safe.
+		if fg {
+			k.lockWait(p, &k.locks.global)
+		}
 		k.Regions.release(child.Region)
+		if fg {
+			k.locks.global.Unlock(p.Task)
+		}
 	}
 	// The child never existed: no capability can reference its region, so
 	// the parent's fork count (which gates region reuse at exit) rolls back.
@@ -287,14 +377,50 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 		for i, c := range p.children {
 			if c.exited {
 				p.children = append(p.children[:i], p.children[i+1:]...)
-				k.reap(c)
+				k.reap(c, p)
 				return c.PID, c.exitStatus, nil
 			}
 		}
-		p.Acct.BlockChildNS.Add(uint64(blockAccounted(p.Task, func() {
+		p.Acct.BlockChildNS.Add(uint64(blockAccounted(p, func() {
 			p.childExit.Wait(p.Task)
 		})))
 	}
+}
+
+// fdGet, fdInstall and fdClose are the descriptor-table access paths for
+// syscalls: on fine-grained machines they bracket the owning process's
+// FD-table lock (rank fdtable, above the μprocess lock enter already
+// holds); on BKL machines they are plain table operations under the BKL.
+// The brackets are narrow — lookup or slot assignment only — so the
+// "fdtable" lockstat row measures real table serialization, not I/O.
+func (k *Kernel) fdGet(p *Proc, fd int) (*OpenFile, error) {
+	if !k.Machine.FineGrainedLocks {
+		return p.FDs.Get(fd)
+	}
+	k.lockWait(p, &p.fdlk)
+	of, err := p.FDs.Get(fd)
+	p.fdlk.Unlock(p.Task)
+	return of, err
+}
+
+func (k *Kernel) fdInstall(p *Proc, of *OpenFile) int {
+	if !k.Machine.FineGrainedLocks {
+		return p.FDs.Install(of)
+	}
+	k.lockWait(p, &p.fdlk)
+	fd := p.FDs.Install(of)
+	p.fdlk.Unlock(p.Task)
+	return fd
+}
+
+func (k *Kernel) fdClose(p *Proc, fd int) error {
+	if !k.Machine.FineGrainedLocks {
+		return p.FDs.Close(k, p, fd)
+	}
+	k.lockWait(p, &p.fdlk)
+	err := p.FDs.Close(k, p, fd)
+	p.fdlk.Unlock(p.Task)
+	return err
 }
 
 // Open opens (or with create, creates) a ram-disk file.
@@ -313,14 +439,14 @@ func (k *Kernel) Open(p *Proc, name string, create bool) (int, error) {
 	} else if create {
 		ino.Data = nil // truncate
 	}
-	return p.FDs.Install(&OpenFile{File: &regularFile{ino: ino}}), nil
+	return k.fdInstall(p, &OpenFile{File: &regularFile{ino: ino}}), nil
 }
 
 // Close closes a descriptor.
 func (k *Kernel) Close(p *Proc, fd int) error {
 	k.enter(p, SysClose, 0)
 	defer k.leave(p)
-	return p.FDs.Close(k, p, fd)
+	return k.fdClose(p, fd)
 }
 
 // Write writes buf to fd. The data crosses the user/kernel boundary, so
@@ -331,7 +457,7 @@ func (k *Kernel) Write(p *Proc, fd int, buf []byte) (int, error) {
 	if err := k.chaosErr("write"); err != nil {
 		return 0, err
 	}
-	of, err := p.FDs.Get(fd)
+	of, err := k.fdGet(p, fd)
 	if err != nil {
 		return 0, err
 	}
@@ -350,7 +476,7 @@ func (k *Kernel) Read(p *Proc, fd int, buf []byte) (int, error) {
 	if err := k.chaosErr("read"); err != nil {
 		return 0, err
 	}
-	of, err := p.FDs.Get(fd)
+	of, err := k.fdGet(p, fd)
 	if err != nil {
 		return 0, err
 	}
@@ -393,7 +519,7 @@ func (k *Kernel) ReadVM(p *Proc, fd int, c cap.Capability, off, n uint64) (int, 
 func (k *Kernel) Fsync(p *Proc, fd int) error {
 	k.enter(p, SysFsync, 0)
 	defer k.leave(p)
-	if _, err := p.FDs.Get(fd); err != nil {
+	if _, err := k.fdGet(p, fd); err != nil {
 		return err
 	}
 	p.Task.Advance(k.Machine.FSSync)
@@ -408,8 +534,8 @@ func (k *Kernel) Pipe(p *Proc) (int, int, error) {
 		return -1, -1, err
 	}
 	r, w := NewPipe()
-	rfd := p.FDs.Install(&OpenFile{File: r})
-	wfd := p.FDs.Install(&OpenFile{File: w})
+	rfd := k.fdInstall(p, &OpenFile{File: r})
+	wfd := k.fdInstall(p, &OpenFile{File: w})
 	return rfd, wfd, nil
 }
 
@@ -420,7 +546,7 @@ func (k *Kernel) Listen(p *Proc) (int, *Listener) {
 	k.enter(p, SysListen, 0)
 	defer k.leave(p)
 	l := NewListener()
-	fd := p.FDs.Install(&OpenFile{File: l})
+	fd := k.fdInstall(p, &OpenFile{File: l})
 	return fd, l
 }
 
@@ -428,7 +554,7 @@ func (k *Kernel) Listen(p *Proc) (int, *Listener) {
 func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
 	k.enter(p, SysAccept, 0)
 	defer k.leave(p)
-	of, err := p.FDs.Get(fd)
+	of, err := k.fdGet(p, fd)
 	if err != nil {
 		return -1, err
 	}
@@ -440,7 +566,7 @@ func (k *Kernel) Accept(p *Proc, fd int) (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	return p.FDs.Install(&OpenFile{File: conn}), nil
+	return k.fdInstall(p, &OpenFile{File: conn}), nil
 }
 
 // Sbrk grows the heap watermark by n pages. On the statically heaped

@@ -56,6 +56,13 @@ type Machine struct {
 	// BigKernelLock serializes kernel execution across cores (Unikraft's
 	// current SMP story, §4.5). CheriBSD has fine-grained locking.
 	BigKernelLock bool
+	// FineGrainedLocks replaces the big kernel lock with the split lock
+	// hierarchy (per-μprocess lock, sharded proc table, per-process FD
+	// table, tmem allocator with per-CPU frame caches, and a narrow
+	// residual global lock) — the SMP configuration this repo grows beyond
+	// the paper's prototype to lift the §4.5 ceiling. Mutually exclusive
+	// with BigKernelLock.
+	FineGrainedLocks bool
 	// DemandPagedHeap maps heap pages on first touch (the monolithic
 	// baseline); unikernel machines map the whole static heap at load
 	// (§4.2 "private, statically-allocated heap").
@@ -222,6 +229,18 @@ func UFork(cores int) *Machine {
 		RuntimeImagePages: 0,
 		VMImagePages:      0,
 	}
+}
+
+// UForkSMP returns the μFork machine with the big kernel lock broken into
+// the fine-grained hierarchy. Every cost constant is identical to UFork —
+// the two models differ only in what serializes kernel execution — so a
+// pre/post contention sweep isolates the locking change.
+func UForkSMP(cores int) *Machine {
+	m := UFork(cores)
+	m.Name = "uFork-SMP"
+	m.BigKernelLock = false
+	m.FineGrainedLocks = true
+	return m
 }
 
 // Posix returns the CheriBSD 23.11 baseline model.

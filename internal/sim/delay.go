@@ -21,7 +21,9 @@ const (
 	// network delays plus the machine model's fixed syscall path costs.
 	DelayLatency
 	// DelayLockWait is virtual time lost acquiring contended VLocks (the
-	// big kernel lock).
+	// big kernel lock, or the split locks once it is broken up). Strict
+	// locks park their waiters, so the jump first lands in DelayBlocked
+	// and is reclassified here on wake.
 	DelayLockWait
 
 	NumDelayKinds
@@ -69,4 +71,15 @@ func (t *Task) addDelay(k DelayKind, d Time) {
 	if d != 0 {
 		t.delays[k].Add(uint64(d))
 	}
+}
+
+// reclassify moves d of already-accumulated delay from one kind to
+// another, preserving the lifetime identity. Strict VLocks use it to
+// re-attribute a waiter's park jump from DelayBlocked to DelayLockWait.
+func (t *Task) reclassify(from, to DelayKind, d Time) {
+	if d == 0 {
+		return
+	}
+	t.delays[from].Add(^uint64(d) + 1)
+	t.delays[to].Add(uint64(d))
 }

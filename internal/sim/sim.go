@@ -98,7 +98,41 @@ type Task struct {
 	// generator standing in for a client machine): its Work/Book calls
 	// advance its clock without occupying any of the simulated CPU cores.
 	Offcore bool
+
+	// held is the stack of VLocks the task currently holds, in acquisition
+	// order. The lock-ordering assertion validates new acquisitions against
+	// it, and sleep sites release/re-acquire through it. Simulation
+	// goroutine only.
+	held []*VLock
+
+	// lastCore is the core index the task most recently booked compute on;
+	// the kernel uses it to attribute allocator traffic to a per-CPU frame
+	// cache. Simulation goroutine only.
+	lastCore int
 }
+
+// HeldLocks returns the locks the task currently holds, outermost first (a
+// copy). Sleep sites snapshot it to re-acquire the same footprint after a
+// wake.
+func (t *Task) HeldLocks() []*VLock {
+	if len(t.held) == 0 {
+		return nil
+	}
+	return append([]*VLock(nil), t.held...)
+}
+
+// ReleaseAll unlocks every strict lock the task holds, innermost first.
+// Idempotent: callers use it as a safety net on syscall exit and on the
+// double-release paths of a task unwinding through a kill.
+func (t *Task) ReleaseAll() {
+	for len(t.held) > 0 {
+		t.held[len(t.held)-1].Unlock(t)
+	}
+}
+
+// LastCore returns the core index this task most recently booked compute
+// on (zero before any booking; off-core tasks keep their last value).
+func (t *Task) LastCore() int { return t.lastCore }
 
 // Engine drives a set of tasks over virtual time.
 type Engine struct {
@@ -271,6 +305,7 @@ func (t *Task) Work(d Time) {
 	}
 	end := start + d
 	t.eng.cores.release(core, end, t.ID)
+	t.lastCore = core
 	t.addDelay(DelayRunnable, wait)
 	t.addDelay(DelayRun, end-ready-wait)
 	t.noteDispatch(core, wait, end-ready-wait)
@@ -293,6 +328,7 @@ func (t *Task) Book(d Time) {
 	wait := start - ready
 	end := start + d
 	t.eng.cores.release(core, end, t.ID)
+	t.lastCore = core
 	t.addDelay(DelayRunnable, wait)
 	t.addDelay(DelayRun, d)
 	t.noteDispatch(core, wait, d)
@@ -411,18 +447,62 @@ func (cb *coreBank) release(core int, at Time, taskID int) {
 
 // --- virtual-time lock ---
 
-// VLock is a virtual-time mutex: acquisition delays the caller's clock
-// until the lock's previous holder released it. It models Unikraft's "big
-// kernel lock" SMP serialization (§4.5). Counters are atomic: host-side
-// readers (the telemetry server, parallel eager-copy workers' coordinator)
-// sample them while the simulation goroutine holds the lock.
+// VLock is a virtual-time mutex with two operating modes.
+//
+// A zero-value VLock uses the legacy virtual-exclusion model that PR-6
+// measured the big kernel lock with: acquisition delays the caller's clock
+// until the previous holder's release clock (the freeAt jump). Critical
+// sections that overlap in real time merge in virtual time, and a holder
+// may park mid-section — an approximation that is exact for the BKL's
+// whole-syscall sections and is kept byte-for-byte so every pre-split
+// golden stays pinned.
+//
+// A VLock initialized with Init is strict: exactly one real-time holder, a
+// FIFO waiter queue with direct handoff (a hot re-acquirer joins the tail
+// and cannot starve queued tasks), recursive-acquire and wrong-holder
+// panics, and — when rank is non-zero — a lock-ordering assertion against
+// the acquiring task's held stack. The fine-grained kernel hierarchy uses
+// strict locks exclusively; strict holders must not park while holding
+// (sleep sites release and re-acquire via Task.HeldLocks).
+//
+// Counters are atomic: host-side readers (the telemetry server, parallel
+// eager-copy workers' coordinator) sample them while the simulation
+// goroutine holds the lock.
 type VLock struct {
+	name   string
+	rank   int
+	seq    int
+	strict bool
+
+	holder  *Task
+	waiters []*Task
+
 	freeAt    Time
 	heldAt    Time
 	acquired  atomic.Uint64
 	contended atomic.Uint64
 	m         *LockMeter
 }
+
+// Init names the lock and switches it to strict FIFO mode, placing it in
+// the lock-ordering hierarchy at (rank, seq). A task may only acquire a
+// ranked lock that orders strictly after every ranked lock it already
+// holds: higher rank, or equal rank with a higher seq (how parent/child
+// μprocess pairs are taken in ascending-PID canonical order). Rank 0 opts
+// the lock out of ordering checks but keeps strict FIFO semantics.
+func (l *VLock) Init(name string, rank, seq int) {
+	l.name = name
+	l.rank = rank
+	l.seq = seq
+	l.strict = true
+}
+
+// Name returns the lock's Init name ("" for a legacy zero-value lock).
+func (l *VLock) Name() string { return l.name }
+
+// Holder returns the task currently inside a strict lock's critical
+// section, or nil. Always nil for legacy locks. Simulation goroutine only.
+func (l *VLock) Holder() *Task { return l.holder }
 
 // Acquired returns the total acquisition count.
 func (l *VLock) Acquired() uint64 { return l.acquired.Load() }
@@ -434,37 +514,102 @@ func (l *VLock) Contended() uint64 { return l.contended.Load() }
 // before the simulation runs; metering never mutates clocks.
 func (l *VLock) SetMeter(m *LockMeter) { l.m = m }
 
-// Lock acquires the lock at the caller's current clock, advancing the
-// clock to the lock's release time when contended. The wait is charged to
-// the task's DelayLockWait bucket.
+// assertOrder is the debug ordering assertion: acquiring a ranked strict
+// lock while holding one that does not order before it is a kernel bug,
+// reported with both locks' names so the inverted pair is obvious.
+func (l *VLock) assertOrder(t *Task) {
+	for _, h := range t.held {
+		if h.rank == 0 {
+			continue
+		}
+		if l.rank < h.rank || (l.rank == h.rank && l.seq <= h.seq) {
+			panic(fmt.Sprintf(
+				"sim: lock order violation: task %d (%q) acquiring %s(rank %d, seq %d) while holding %s(rank %d, seq %d)",
+				t.ID, t.Name, l.name, l.rank, l.seq, h.name, h.rank, h.seq))
+		}
+	}
+}
+
+// Lock acquires the lock at the caller's current clock. Legacy mode jumps
+// the clock to the previous release time when contended; strict mode parks
+// the caller in FIFO arrival order until the holder hands the lock off.
+// Either way the wait is charged to the task's DelayLockWait bucket.
 func (l *VLock) Lock(t *Task) {
 	t.Sync()
+	if l.strict && l.holder == t {
+		panic(fmt.Sprintf("sim: task %d (%q) recursively acquiring lock %s", t.ID, t.Name, l.name))
+	}
+	if l.rank != 0 {
+		l.assertOrder(t)
+	}
 	l.acquired.Add(1)
 	var wait Time
-	if l.freeAt > t.now {
-		l.contended.Add(1)
+	switch {
+	case l.strict && l.holder != nil:
+		// Strict and held: queue in arrival order and park. The releaser
+		// designates us holder before unparking (direct handoff — no
+		// barging), so on resume the section is ours. The park jump lands
+		// in DelayBlocked; reclassify it as lock wait.
+		l.waiters = append(l.waiters, t)
+		t0 := t.now
+		t.Park()
+		wait = t.now - t0
+		t.reclassify(DelayBlocked, DelayLockWait, wait)
+	case !l.strict && l.freeAt > t.now:
+		// Legacy virtual exclusion: serialize behind the previous
+		// section's release clock.
 		wait = l.freeAt - t.now
 		t.addDelay(DelayLockWait, wait)
 		t.now = l.freeAt
+	}
+	if wait > 0 {
+		l.contended.Add(1)
+	}
+	if l.strict {
+		l.holder = t
+		t.held = append(t.held, l)
 	}
 	l.heldAt = t.now
 	l.m.onLock(t.now, wait)
 }
 
-// Unlock releases the lock at the caller's current clock.
+// Unlock releases the lock at the caller's current clock. A strict lock
+// with queued waiters is handed directly to the head of the FIFO.
 func (l *VLock) Unlock(t *Task) {
+	if l.strict && l.holder != t {
+		panic(fmt.Sprintf("sim: task %d (%q) unlocking lock %s it does not hold", t.ID, t.Name, l.name))
+	}
 	if t.now > l.freeAt {
 		l.freeAt = t.now
 	}
-	// Hold time since the most recent acquisition. A holder that parks
-	// mid-section (pipe read under the BKL) can be overtaken in virtual
-	// time; clamp instead of underflowing — the merged section is still
-	// attributed to the lock deterministically.
+	// Hold time since the most recent acquisition. A legacy holder that
+	// parks mid-section (pipe read under the BKL) can be overtaken in
+	// virtual time; clamp instead of underflowing — the merged section is
+	// still attributed to the lock deterministically.
 	var hold Time
 	if t.now > l.heldAt {
 		hold = t.now - l.heldAt
 	}
 	l.m.onUnlock(hold)
+	if !l.strict {
+		return
+	}
+	for i := len(t.held) - 1; i >= 0; i-- {
+		if t.held[i] == l {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			break
+		}
+	}
+	if len(l.waiters) > 0 {
+		next := l.waiters[0]
+		copy(l.waiters, l.waiters[1:])
+		l.waiters[len(l.waiters)-1] = nil
+		l.waiters = l.waiters[:len(l.waiters)-1]
+		l.holder = next
+		t.Unpark(next, t.now)
+	} else {
+		l.holder = nil
+	}
 }
 
 // --- wait queue ---

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStrictFIFOFairness pins the no-barging guarantee of strict VLocks: a
+// holder that releases and immediately re-acquires must queue behind every
+// task that parked while it held the lock. With barging (the legacy
+// freeAt model has no queue at all), the hot re-acquirer would win the
+// race against the parked waiters and could starve them indefinitely.
+func TestStrictFIFOFairness(t *testing.T) {
+	eng := NewEngine(4)
+	var l VLock
+	l.Init("fifo", 0, 0)
+	var order []string
+	var taskA, taskB *Task
+	eng.Go("H", 0, func(tk *Task) {
+		l.Lock(tk)
+		order = append(order, "H1")
+		// Two Work slices: the second one's causality point (clock 10) lets
+		// A and B run and park on the held lock, in arrival order.
+		tk.Work(10)
+		tk.Work(90)
+		l.Unlock(tk)
+		// Hot re-acquire: A and B are already queued; direct handoff made A
+		// the holder at our release, so we must join the tail behind B.
+		l.Lock(tk)
+		order = append(order, "H2")
+		l.Unlock(tk)
+	})
+	taskA = eng.Go("A", 1, func(tk *Task) {
+		l.Lock(tk)
+		order = append(order, "A")
+		l.Unlock(tk)
+	})
+	taskB = eng.Go("B", 2, func(tk *Task) {
+		l.Lock(tk)
+		order = append(order, "B")
+		l.Unlock(tk)
+	})
+	eng.Run()
+
+	want := []string{"H1", "A", "B", "H2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("grant order %v, want FIFO %v", order, want)
+	}
+	// A arrived at t=1 and was handed the lock at H's release (t=100); the
+	// 99ns park must be charged to lock wait, not generic blocking. B got
+	// the handoff from A at the same instant, so it waited 98ns.
+	if got := taskA.Delay(DelayLockWait); got != 99 {
+		t.Errorf("A's lock-wait delay = %v, want 99ns", got)
+	}
+	if got := taskA.Delay(DelayBlocked); got != 0 {
+		t.Errorf("A's blocked delay = %v, want 0 (reclassified to lock wait)", got)
+	}
+	if got := taskB.Delay(DelayLockWait); got != 98 {
+		t.Errorf("B's lock-wait delay = %v, want 98ns", got)
+	}
+	// A and B waited; H's re-acquire parked behind B but was granted at the
+	// same virtual instant, so only two acquisitions count as contended.
+	if l.Contended() != 2 {
+		t.Errorf("contended = %d, want 2 (A and B)", l.Contended())
+	}
+	if l.Acquired() != 4 {
+		t.Errorf("acquired = %d, want 4", l.Acquired())
+	}
+}
+
+// TestStrictRecursiveAcquirePanics: strict locks are not reentrant; a
+// recursive acquire is a kernel bug and must fail loudly.
+func TestStrictRecursiveAcquirePanics(t *testing.T) {
+	eng := NewEngine(1)
+	var l VLock
+	l.Init("rec", 0, 0)
+	var msg string
+	eng.Go("t", 0, func(tk *Task) {
+		defer func() { msg = fmt.Sprint(recover()) }()
+		l.Lock(tk)
+		l.Lock(tk)
+	})
+	eng.Run()
+	if !strings.Contains(msg, "recursively acquiring lock rec") {
+		t.Fatalf("recursive acquire did not panic usefully: %q", msg)
+	}
+}
+
+// TestStrictWrongHolderUnlockPanics: only the holder may release a strict
+// lock, and the panic must name the lock.
+func TestStrictWrongHolderUnlockPanics(t *testing.T) {
+	eng := NewEngine(2)
+	var l VLock
+	l.Init("owned", 0, 0)
+	var wq WaitQueue
+	var msg string
+	var holder *Task
+	holder = eng.Go("holder", 0, func(tk *Task) {
+		l.Lock(tk)
+		wq.Wait(tk) // hold across the intruder's attempt
+		l.Unlock(tk)
+	})
+	eng.Go("intruder", 10, func(tk *Task) {
+		tk.Sync()
+		if got := l.Holder(); got != holder {
+			t.Errorf("holder = %v, want the holder task", got)
+		}
+		func() {
+			defer func() { msg = fmt.Sprint(recover()) }()
+			l.Unlock(tk)
+		}()
+		wq.WakeAll(tk, tk.Now())
+	})
+	eng.Run()
+	if !strings.Contains(msg, "unlocking lock owned it does not hold") {
+		t.Fatalf("wrong-holder unlock did not panic usefully: %q", msg)
+	}
+}
+
+// TestLockOrderSabotage deliberately inverts the kernel's lock hierarchy —
+// acquiring a rank-10 lock while holding a rank-20 one — and requires the
+// ordering assertion to fire with both lock names in the message, so an
+// inverted pair in a real kernel path is immediately attributable.
+func TestLockOrderSabotage(t *testing.T) {
+	eng := NewEngine(1)
+	var inner, outer VLock
+	inner.Init("uproc", 10, 1)
+	outer.Init("proctable", 20, 1)
+	var msg string
+	eng.Go("saboteur", 0, func(tk *Task) {
+		defer func() { msg = fmt.Sprint(recover()) }()
+		outer.Lock(tk)
+		inner.Lock(tk) // rank 10 after rank 20: inverted
+	})
+	eng.Run()
+	for _, want := range []string{"lock order violation", "uproc", "proctable"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("sabotage panic %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestLockOrderEqualRankSeq: equal-rank locks order by seq — the
+// ascending-PID canonical pair order for μprocess locks. Ascending is
+// legal; descending must panic.
+func TestLockOrderEqualRankSeq(t *testing.T) {
+	run := func(first, second *VLock) (msg string) {
+		eng := NewEngine(1)
+		eng.Go("t", 0, func(tk *Task) {
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprint(r)
+				}
+			}()
+			first.Lock(tk)
+			second.Lock(tk)
+			second.Unlock(tk)
+			first.Unlock(tk)
+		})
+		eng.Run()
+		return msg
+	}
+
+	var lo, hi VLock
+	lo.Init("uproc-3", 10, 3)
+	hi.Init("uproc-5", 10, 5)
+	if msg := run(&lo, &hi); msg != "" {
+		t.Fatalf("ascending-seq pair acquisition panicked: %q", msg)
+	}
+	lo = VLock{}
+	hi = VLock{}
+	lo.Init("uproc-3", 10, 3)
+	hi.Init("uproc-5", 10, 5)
+	if msg := run(&hi, &lo); !strings.Contains(msg, "lock order violation") {
+		t.Fatalf("descending-seq pair did not panic: %q", msg)
+	}
+}
+
+// TestReleaseAllInnermostFirst: the syscall-exit safety net releases the
+// whole held stack and leaves the locks grantable again.
+func TestReleaseAllInnermostFirst(t *testing.T) {
+	eng := NewEngine(1)
+	var a, b VLock
+	a.Init("a", 10, 0)
+	b.Init("b", 20, 0)
+	eng.Go("t", 0, func(tk *Task) {
+		a.Lock(tk)
+		b.Lock(tk)
+		if n := len(tk.HeldLocks()); n != 2 {
+			t.Errorf("held %d locks, want 2", n)
+		}
+		tk.ReleaseAll()
+		if n := len(tk.HeldLocks()); n != 0 {
+			t.Errorf("held %d locks after ReleaseAll, want 0", n)
+		}
+		if a.Holder() != nil || b.Holder() != nil {
+			t.Error("locks still held after ReleaseAll")
+		}
+		// Idempotent.
+		tk.ReleaseAll()
+		// And re-acquirable.
+		a.Lock(tk)
+		a.Unlock(tk)
+	})
+	eng.Run()
+}

@@ -1,0 +1,184 @@
+package tmem
+
+import "testing"
+
+// drain allocates every frame the bank will give and returns the PFNs in
+// allocation order.
+func drain(t *testing.T, m *Memory) []PFN {
+	t.Helper()
+	var got []PFN
+	for {
+		pfn, err := m.AllocFrame()
+		if err != nil {
+			return got
+		}
+		got = append(got, pfn)
+	}
+}
+
+func freeAll(t *testing.T, m *Memory, pfns []PFN) {
+	t.Helper()
+	for _, pfn := range pfns {
+		if err := m.FreeFrame(pfn); err != nil {
+			t.Fatalf("free %d: %v", pfn, err)
+		}
+	}
+}
+
+// TestCacheHitRefillSpill exercises the per-CPU fast path: a free lands in
+// the cache, the next allocation hits it LIFO, a dry cache refills from
+// the shared free list, and a cache past its 2×batch cap spills frees back
+// to the shared list.
+func TestCacheHitRefillSpill(t *testing.T) {
+	m := New(64)
+	m.EnableCPUCaches(2, 4)
+	if !m.CachesEnabled() {
+		t.Fatal("caches not enabled")
+	}
+	if m.CacheReady(1) {
+		t.Fatal("empty cache claims readiness")
+	}
+
+	// Refill moves batch=4 frames from the free list into CPU 0's cache.
+	m.RefillCache()
+	if !m.CacheReady(4) || m.CacheReady(5) {
+		t.Fatalf("after refill, CacheReady(4)=%v CacheReady(5)=%v, want true/false",
+			m.CacheReady(4), m.CacheReady(5))
+	}
+	// The refill takes the free list's tail (frames 60-63 of the
+	// low-first ordering... the list is LIFO from the top), and the cache
+	// hands them back LIFO.
+	a, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, refills, spills, steals := m.CacheStats()
+	if hits != 1 || refills != 1 || spills != 0 || steals != 0 {
+		t.Fatalf("stats after one refill+hit: hits=%d refills=%d spills=%d steals=%d", hits, refills, spills, steals)
+	}
+	// A free goes back to the cache and the next alloc returns the same
+	// frame — LIFO reuse keeps the working set hot.
+	if err := m.FreeFrame(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("LIFO reuse: got %d, want %d", b, a)
+	}
+	if hits, _, _, _ := m.CacheStats(); hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+
+	// Conservation holds with frames parked in the cache.
+	if got := m.Allocated() + m.FreeFrames(); got != m.NumFrames() {
+		t.Fatalf("conservation: allocated %d + free %d != %d", m.Allocated(), m.FreeFrames(), m.NumFrames())
+	}
+
+	// Spill: free more frames than the 2×batch=8 cap. Allocate 12 (3 cache
+	// hits + 9 free-list), free them all; the cache holds 8, the rest spill.
+	if err := m.FreeFrame(b); err != nil {
+		t.Fatal(err)
+	}
+	var pfns []PFN
+	for i := 0; i < 12; i++ {
+		pfn, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfns = append(pfns, pfn)
+	}
+	freeAll(t, m, pfns)
+	if _, _, spills, _ := m.CacheStats(); spills != 4 {
+		t.Fatalf("spills = %d, want 4 (12 frees into an empty cache capped at 8)", spills)
+	}
+	if got := m.Allocated() + m.FreeFrames(); got != m.NumFrames() {
+		t.Fatalf("conservation after spill: allocated %d + free %d != %d", m.Allocated(), m.FreeFrames(), m.NumFrames())
+	}
+}
+
+// TestCacheSetCPUIsolation: each CPU has its own stack; SetCPU routes
+// traffic, and out-of-range CPUs clamp to cache 0.
+func TestCacheSetCPUIsolation(t *testing.T) {
+	m := New(16)
+	m.EnableCPUCaches(2, 4)
+	m.SetCPU(0)
+	m.RefillCache()
+	if !m.CacheReady(1) {
+		t.Fatal("CPU 0 cache empty after refill")
+	}
+	m.SetCPU(1)
+	if m.CacheReady(1) {
+		t.Fatal("CPU 1 cache sees CPU 0's frames")
+	}
+	// Out-of-range clamps to 0, which is stocked.
+	m.SetCPU(99)
+	if !m.CacheReady(1) {
+		t.Fatal("out-of-range SetCPU did not clamp to cache 0")
+	}
+	m.SetCPU(-1)
+	if !m.CacheReady(1) {
+		t.Fatal("negative SetCPU did not clamp to cache 0")
+	}
+}
+
+// TestCacheStealStavesOffOOM: when the shared free list is empty but
+// another CPU's cache holds frames, allocation must steal them back
+// rather than report ErrOutOfMemory; a bank is only exhausted when every
+// frame is truly allocated.
+func TestCacheStealStavesOffOOM(t *testing.T) {
+	const n = 8
+	m := New(n)
+	m.EnableCPUCaches(2, 4)
+	// Stock CPU 1's cache, then allocate from CPU 0 until the free list is
+	// gone: the final allocations must come from stealing CPU 1's stack.
+	m.SetCPU(1)
+	m.RefillCache()
+	m.SetCPU(0)
+	got := drain(t, m)
+	if len(got) != n {
+		t.Fatalf("allocated %d frames of %d: cached frames were not reclaimed", len(got), n)
+	}
+	if _, _, _, steals := m.CacheStats(); steals != 1 {
+		t.Fatalf("steals = %d, want 1", steals)
+	}
+	if m.Allocated() != n || m.FreeFrames() != 0 {
+		t.Fatalf("allocated=%d free=%d after drain, want %d/0", m.Allocated(), m.FreeFrames(), n)
+	}
+	// Truly exhausted now.
+	if _, err := m.AllocFrame(); err == nil {
+		t.Fatal("allocation succeeded on an exhausted bank")
+	}
+	// Frees during exhaustion land in CPU 0's cache and are allocatable.
+	freeAll(t, m, got[:3])
+	if got := m.Allocated() + m.FreeFrames(); got != n {
+		t.Fatalf("conservation after partial free: %d != %d", got, n)
+	}
+	again := drain(t, m)
+	if len(again) != 3 {
+		t.Fatalf("re-allocated %d frames, want 3", len(again))
+	}
+}
+
+// TestCachesDisabledIdentical: a bank without EnableCPUCaches must keep
+// the exact historical PFN ordering — the BKL and POSIX machines' goldens
+// depend on it — and the cache entry points must be inert.
+func TestCachesDisabledIdentical(t *testing.T) {
+	plain := New(16)
+	if plain.CachesEnabled() || plain.CacheReady(1) {
+		t.Fatal("zero-value bank claims cache support")
+	}
+	plain.SetCPU(3)     // no-op
+	plain.RefillCache() // no-op
+	if h, r, s, st := plain.CacheStats(); h|r|s|st != 0 {
+		t.Fatal("stats non-zero on cacheless bank")
+	}
+	got := drain(t, plain)
+	for i, pfn := range got {
+		if int(pfn) != i {
+			t.Fatalf("PFN order diverged at %d: got %d (low-first ordering is pinned)", i, pfn)
+		}
+	}
+}

@@ -60,11 +60,20 @@ var liveFrames atomic.Int64
 // across all Memory banks.
 func LiveFrames() int64 { return liveFrames.Load() }
 
-// FreeFrames returns the number of frames on this bank's free list.
-// Together with Allocated it must account for every physical frame:
+// FreeFrames returns the number of free frames in this bank: the shared
+// free list plus any frames parked in per-CPU caches. Together with
+// Allocated it must account for every physical frame:
 // Allocated()+FreeFrames() == NumFrames() is the conservation law the
 // invariant checker audits.
-func (m *Memory) FreeFrames() int { return len(m.freeList) }
+func (m *Memory) FreeFrames() int {
+	n := len(m.freeList)
+	if m.caches != nil {
+		for _, s := range m.caches.stacks {
+			n += len(s)
+		}
+	}
+	return n
+}
 
 // ForEachAllocated calls fn with every currently allocated PFN in
 // ascending order.

@@ -130,6 +130,10 @@ type Memory struct {
 	// MUST be safe for concurrent use: fork eager copies fan out across
 	// host worker goroutines.
 	copyObserver func(dst, src PFN)
+	// caches, when armed via EnableCPUCaches, holds the per-CPU free-frame
+	// stacks of the fine-grained allocator's lock-free fast path; nil on
+	// BKL/POSIX machines so their PFN ordering is untouched. See cache.go.
+	caches *frameCaches
 }
 
 // New creates a memory bank with the given number of physical frames.
@@ -166,11 +170,14 @@ func (m *Memory) alloc(zero bool) (PFN, error) {
 	if m.hooks != nil && m.hooks.FailAlloc != nil && m.hooks.FailAlloc() {
 		return NoFrame, fmt.Errorf("%w (injected)", ErrOutOfMemory)
 	}
-	if len(m.freeList) == 0 {
-		return NoFrame, ErrOutOfMemory
+	pfn, cached := m.takeCached()
+	if !cached {
+		if len(m.freeList) == 0 && !m.stealCaches() {
+			return NoFrame, ErrOutOfMemory
+		}
+		pfn = m.freeList[len(m.freeList)-1]
+		m.freeList = m.freeList[:len(m.freeList)-1]
 	}
-	pfn := m.freeList[len(m.freeList)-1]
-	m.freeList = m.freeList[:len(m.freeList)-1]
 	if n := len(m.pool); n > 0 {
 		f := m.pool[n-1]
 		m.pool[n-1] = nil
@@ -223,7 +230,9 @@ func (m *Memory) FreeFrame(pfn PFN) error {
 	}
 	m.frames[pfn] = nil
 	m.pool = append(m.pool, f)
-	m.freeList = append(m.freeList, pfn)
+	if !m.cacheFree(pfn) {
+		m.freeList = append(m.freeList, pfn)
+	}
 	m.allocated--
 	liveFrames.Add(-1)
 	if m.observer != nil {
