@@ -25,7 +25,19 @@
 // harness: seeded random syscall programs across every copy mode ×
 // isolation level, clean and under aggressive fault injection, with
 // kernel-wide invariant audits. Any failure prints a one-line repro
-// carrying the seed; -seed replays it.
+// carrying the seed; -seed replays it. Every stress row must also clear
+// the syscall-latency SLO (-slo overrides the built-in gate).
+//
+// -exp ycsb (never part of "all") runs the YCSB-style load harness:
+// deterministic A/B/C mixes over zipfian keys against the kvstore (with
+// BGSAVE snapshot forks firing mid-run) and the httpd worker fleet, in
+// both lock configurations across -cores, recording per-op virtual-time
+// latency and asserting each cell's SLO — plus one fault-injected cell
+// per workload proving the gate stays honest under chaos. -mix, -ops,
+// -keys, -locks, -chaos and -slo reshape the sweep; -full runs the
+// paper-scale soak (10^5 keys, 10^6 ops per cell). A breached SLO exits
+// non-zero with the flight-recorder tail of the offending run. The
+// quick-mode rows are checked in as BENCH_8.json.
 //
 // Quick mode (default) uses reduced database sizes, windows and iteration
 // counts; -full runs the paper's parameters (100 MB databases, 1000
@@ -51,21 +63,28 @@ import (
 	"strings"
 
 	"ufork/internal/bench"
+	"ufork/internal/bench/ycsb"
 	"ufork/internal/obs"
 	"ufork/internal/sim"
 	"ufork/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, footprint, contention, stress)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, footprint, contention, stress, ycsb)")
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
 	parallel := flag.Int("parallel", 0, "host worker-pool width for eager fork copies (0 = one per CPU, 1 = serial); virtual-time results are identical at any setting")
 	seed := flag.Int64("seed", 1, "base seed for -exp stress; a failure's printed repro line names the exact seed to replay")
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, pprof) on this address; keeps serving after the run until interrupted")
-	coresFlag := flag.String("cores", "1,2,4,8", "comma-separated core counts for -exp contention")
+	coresFlag := flag.String("cores", "1,2,4,8", "comma-separated core counts for -exp contention and -exp ycsb")
 	checkScaling := flag.Bool("check-scaling", false, "with -exp contention: exit non-zero unless the split-lock rows clear the scaling gates (httpd 4-core >= 2x 1-core, residual share < 40%)")
+	mixFlag := flag.String("mix", "A,B,C", "comma-separated YCSB mixes for -exp ycsb (A=50/50, B=95/5 read-mostly, C=read-only)")
+	opsFlag := flag.Int("ops", 0, "ops per cell for -exp ycsb (0 = quick default, or the paper scale with -full)")
+	keysFlag := flag.Int("keys", 0, "keyspace size for -exp ycsb (0 = quick default, or the paper scale with -full)")
+	locksFlag := flag.String("locks", "bkl,smp", "comma-separated lock configurations for -exp ycsb")
+	chaosFlag := flag.Bool("chaos", false, "with -exp ycsb: arm seeded fault injection on every cell instead of the two dedicated chaos cells")
+	sloFlag := flag.String("slo", "", "SLO spec overriding the built-in gates for -exp ycsb and -exp stress, e.g. tput=50000,p50=200us,p99=2ms,p999=10ms,err=1%")
 	flag.Parse()
 
 	bench.Parallelism = *parallel
@@ -174,16 +193,55 @@ func main() {
 		fmt.Println(bench.RenderFootprint(rows))
 		ran = true
 	}
-	// The stress soak is explicit-only (not part of -exp all): it is a
-	// robustness harness, not a paper experiment.
+	// The stress soak and the YCSB load harness are explicit-only (not
+	// part of -exp all): they are robustness harnesses, not paper
+	// experiments.
 	if *exp == "stress" {
 		rounds, maxOps := 2, 2500
 		if *full {
 			rounds, maxOps = 10, 8000
 		}
+		slo := bench.DefaultStressSLO()
+		if *sloFlag != "" {
+			var err error
+			slo, err = ycsb.ParseSLO(*sloFlag)
+			die(err)
+		}
 		rows := bench.Stress(*seed, rounds, maxOps)
 		fmt.Println(bench.RenderStress(rows))
 		die(bench.StressFailures(rows))
+		die(bench.CheckStressSLO(rows, slo))
+		ran = true
+	}
+	if *exp == "ycsb" {
+		mixes, err := parseMixes(*mixFlag)
+		die(err)
+		cores, err := parseCores(*coresFlag)
+		die(err)
+		opts := bench.YCSBOpts{
+			Mixes: mixes, Keys: *keysFlag, Ops: *opsFlag,
+			Cores: cores, Seed: *seed, Chaos: *chaosFlag,
+		}
+		if *locksFlag != "" {
+			opts.Locks = strings.Split(*locksFlag, ",")
+		}
+		if *full {
+			if opts.Keys == 0 {
+				opts.Keys = bench.YCSBKeysFull
+			}
+			if opts.Ops == 0 {
+				opts.Ops = bench.YCSBOpsFull
+			}
+		}
+		if *sloFlag != "" {
+			slo, err := ycsb.ParseSLO(*sloFlag)
+			die(err)
+			opts.SLO = &slo
+		}
+		rows, err := bench.YCSBSweep(opts)
+		die(err)
+		fmt.Println(bench.RenderYCSB(rows))
+		die(bench.YCSBFailures(rows))
 		ran = true
 	}
 	if !ran {
@@ -201,6 +259,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: run complete; still serving on http://%s/ (interrupt to exit)\n", tsrv.Addr)
 		select {}
 	}
+}
+
+// parseMixes parses the -mix flag's comma-separated YCSB mix names.
+func parseMixes(s string) ([]ycsb.Mix, error) {
+	var mixes []ycsb.Mix
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		m, ok := ycsb.MixByName(f)
+		if !ok {
+			return nil, fmt.Errorf("unknown YCSB mix %q (have A, B, C)", f)
+		}
+		mixes = append(mixes, m)
+	}
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("-mix is empty")
+	}
+	return mixes, nil
 }
 
 // parseCores parses the -cores flag's comma-separated core counts.

@@ -11,6 +11,7 @@
 package httpd
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -55,13 +56,19 @@ func Start(p *kernel.Proc, n int) (*Server, error) {
 }
 
 // workerLoop accepts and serves connections until the listener closes.
-// Returns the number of requests served.
+// Returns the number of requests served. Injected EINTR on the accept
+// path is retried — a worker dropping out of the fleet on a chaos-
+// interrupted accept would silently shrink capacity for the rest of the
+// run, which is not how a real pre-fork server treats EINTR.
 func workerLoop(w *kernel.Proc, lfd int) int {
 	k := w.Kernel()
 	served := 0
 	for {
 		cfd, err := k.Accept(w, lfd)
 		if err != nil {
+			if errors.Is(err, kernel.ErrInterrupted) {
+				continue
+			}
 			return served // listener shut down
 		}
 		if err := serveConn(w, cfd); err == nil {
@@ -72,7 +79,8 @@ func workerLoop(w *kernel.Proc, lfd int) int {
 }
 
 // serveConn reads one request from the connection descriptor, resolves
-// the path and writes the response.
+// the path and writes the response. GET serves the file; PUT replaces
+// it (the write-op half of the YCSB mixes the load harness drives).
 func serveConn(w *kernel.Proc, cfd int) error {
 	k := w.Kernel()
 	buf := make([]byte, 1024)
@@ -81,10 +89,13 @@ func serveConn(w *kernel.Proc, cfd int) error {
 		return fmt.Errorf("httpd: empty request")
 	}
 	w.Compute(parseCost)
-	path, ok := parseRequest(string(buf[:n]))
+	method, path, ok := parseRequest(string(buf[:n]))
 	if !ok {
 		_, err = k.Write(w, cfd, []byte("HTTP/1.0 400 Bad Request\r\n\r\n"))
 		return err
+	}
+	if method == "PUT" {
+		return servePut(w, cfd, path, buf[:n])
 	}
 	ffd, err := k.Open(w, path, false)
 	if err != nil {
@@ -113,17 +124,63 @@ func serveConn(w *kernel.Proc, cfd int) error {
 	return err
 }
 
-// parseRequest extracts the path from "GET /path HTTP/1.x".
-func parseRequest(req string) (string, bool) {
+// servePut stores the request body as the file at path. The already-read
+// bytes carry the headers and (for the small bodies the load harness
+// sends) the whole body; any remainder announced by Content-Length is
+// drained from the connection first.
+func servePut(w *kernel.Proc, cfd int, path string, req []byte) error {
+	k := w.Kernel()
+	headEnd := strings.Index(string(req), "\r\n\r\n")
+	if headEnd < 0 {
+		_, err := k.Write(w, cfd, []byte("HTTP/1.0 400 Bad Request\r\n\r\n"))
+		return err
+	}
+	body := append([]byte(nil), req[headEnd+4:]...)
+	want := 0
+	for _, line := range strings.Split(string(req[:headEnd]), "\r\n") {
+		if n, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+			fmt.Sscanf(n, "%d", &want)
+		}
+	}
+	chunk := make([]byte, 1024)
+	for len(body) < want {
+		rn, err := k.Read(w, cfd, chunk)
+		if err != nil || rn == 0 {
+			return fmt.Errorf("httpd: truncated PUT body")
+		}
+		body = append(body, chunk[:rn]...)
+	}
+	ffd, err := k.Open(w, path, true)
+	if err != nil {
+		_, err = k.Write(w, cfd, []byte("HTTP/1.0 500 Internal Server Error\r\n\r\n"))
+		return err
+	}
+	if _, err := k.Write(w, ffd, body); err != nil {
+		_ = k.Close(w, ffd)
+		return err
+	}
+	if err := k.Close(w, ffd); err != nil {
+		return err
+	}
+	_, err = k.Write(w, cfd, []byte("HTTP/1.0 201 Created\r\nContent-Length: 0\r\n\r\n"))
+	return err
+}
+
+// parseRequest extracts the method and path from
+// "GET|PUT /path HTTP/1.x".
+func parseRequest(req string) (method, path string, ok bool) {
 	line, _, _ := strings.Cut(req, "\r\n")
 	parts := strings.Split(line, " ")
-	if len(parts) != 3 || parts[0] != "GET" || !strings.HasPrefix(parts[2], "HTTP/") {
-		return "", false
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return "", "", false
+	}
+	if parts[0] != "GET" && parts[0] != "PUT" {
+		return "", "", false
 	}
 	if !strings.HasPrefix(parts[1], "/") {
-		return "", false
+		return "", "", false
 	}
-	return parts[1], true
+	return parts[0], parts[1], true
 }
 
 // Shutdown closes the listener and reaps all workers.
@@ -186,6 +243,36 @@ func DoRequest(p *kernel.Proc, l *kernel.Listener, path string) (ClientResult, e
 	}
 	status, body := splitResponse(resp)
 	return ClientResult{Status: status, Body: body}, nil
+}
+
+// DoPut runs one synchronous client PUT from the driver process,
+// replacing the file at path with body. Same cost model as DoRequest.
+func DoPut(p *kernel.Proc, l *kernel.Listener, path string, body []byte) (ClientResult, error) {
+	k := p.Kernel()
+	conn := l.Connect(p)
+	defer func() { _ = conn.CloseClient(k, p) }()
+	p.Task.Advance(k.Machine.NetRTT)
+	req := fmt.Sprintf("PUT %s HTTP/1.0\r\nContent-Length: %d\r\n\r\n", path, len(body))
+	if _, err := conn.Send(k, p, append([]byte(req), body...)); err != nil {
+		return ClientResult{}, err
+	}
+	var resp []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Recv(k, p, buf)
+		if err != nil {
+			return ClientResult{}, err
+		}
+		if n == 0 {
+			break
+		}
+		resp = append(resp, buf[:n]...)
+		if done, _ := responseComplete(resp); done {
+			break
+		}
+	}
+	status, rb := splitResponse(resp)
+	return ClientResult{Status: status, Body: rb}, nil
 }
 
 // responseComplete checks Content-Length against the received body.

@@ -106,6 +106,47 @@ func TestWorkersShareLoad(t *testing.T) {
 	k.Run()
 }
 
+func TestPutReplacesFile(t *testing.T) {
+	k := newKernel(2)
+	k.VFS().WriteFile("/k1", []byte("old"))
+	if _, err := k.Spawn(serverSpec(), 0, func(p *kernel.Proc) {
+		srv, err := httpd.Start(p, 2)
+		if err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		body := bytes.Repeat([]byte("v"), 128)
+		res, err := httpd.DoPut(p, srv.Listener, "/k1", body)
+		if err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		if !strings.Contains(res.Status, "201") {
+			t.Errorf("put status = %q", res.Status)
+		}
+		// A PUT may also create a fresh key.
+		if res, err = httpd.DoPut(p, srv.Listener, "/k-new", body); err != nil || !strings.Contains(res.Status, "201") {
+			t.Errorf("create put: status %q, err %v", res.Status, err)
+		}
+		for _, path := range []string{"/k1", "/k-new"} {
+			res, err = httpd.DoRequest(p, srv.Listener, path)
+			if err != nil {
+				t.Errorf("get %s: %v", path, err)
+				return
+			}
+			if !bytes.Equal(res.Body, body) {
+				t.Errorf("get %s after put: %d bytes, want %d", path, len(res.Body), len(body))
+			}
+		}
+		if err := srv.Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+}
+
 func TestBadRequest(t *testing.T) {
 	k := newKernel(2)
 	if _, err := k.Spawn(serverSpec(), 0, func(p *kernel.Proc) {

@@ -3,10 +3,14 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"ufork/internal/bench/ycsb"
 	"ufork/internal/chaos"
 	"ufork/internal/core"
 	"ufork/internal/kernel"
+	"ufork/internal/obs"
+	"ufork/internal/obs/flight"
 )
 
 // StressRow is one soak cell: a copy mode × isolation level × seed run of
@@ -71,11 +75,73 @@ func StressFailures(rows []StressRow) error {
 	return nil
 }
 
+// DefaultStressSLO is the syscall-latency contract every soak cell must
+// clear: a latency-only gate (throughput and error rate are the chaos
+// harness's own business) with ceilings well above the measured envelope
+// of the slowest cells — p50 ≤ 500ns and p99 ≤ 500µs across every mode ×
+// isolation × plan at the default scale — so it trips on a latency
+// collapse, not on seed-to-seed noise.
+func DefaultStressSLO() ycsb.SLO {
+	return ycsb.SLO{MaxP50: 100_000, MaxP99: 10_000_000, MaxP999: 50_000_000, MaxErrorRate: -1}
+}
+
+// StressLatency folds the row's flight-recorded per-syscall latencies
+// (KindSysRet, Args[1]) into a histogram summary — the same virtual-time
+// percentile plane the YCSB harness gates on, derived here from the
+// recorder every chaos run already carries.
+func StressLatency(r StressRow) obs.HistSummary {
+	h := obs.NewHistogram(nil)
+	if r.Res.Flight != nil {
+		for _, e := range r.Res.Flight.Snapshot() {
+			if e.Kind == flight.KindSysRet {
+				h.Observe(e.Args[1])
+			}
+		}
+	}
+	return h.Summary()
+}
+
+// CheckStressSLO evaluates every soak cell's syscall-latency summary
+// against the gate, returning an error naming each breaching cell or nil
+// when the whole soak held. Cells that recorded no syscall returns (a
+// seed whose program died instantly) are skipped — StressFailures owns
+// hard failures.
+func CheckStressSLO(rows []StressRow, slo ycsb.SLO) error {
+	var msgs []string
+	for _, r := range rows {
+		sum := StressLatency(r)
+		if sum.Count == 0 {
+			continue
+		}
+		breaches := slo.Evaluate(ycsb.Result{Ops: int(sum.Count), Lat: sum})
+		if len(breaches) == 0 {
+			continue
+		}
+		var gates []string
+		for _, b := range breaches {
+			gates = append(gates, b.String())
+		}
+		plan := "clean"
+		if !r.Clean {
+			plan = "aggressive"
+		}
+		if r.SMP {
+			plan += "+smp"
+		}
+		msgs = append(msgs, fmt.Sprintf("%s/%s/%s seed=%d: %s",
+			r.Mode, r.Iso, plan, r.Seed, strings.Join(gates, "; ")))
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("bench: stress SLO (%s) breached:\n  %s", slo, strings.Join(msgs, "\n  "))
+}
+
 // RenderStress renders the soak summary table, including the per-cell
 // peak μprocess frame footprint taken from the kernel's ProcStat
 // accounting.
 func RenderStress(rows []StressRow) string {
-	header := []string{"mode", "isolation", "seed", "plan", "ops", "forks", "audits", "injected", "peak-frames", "status"}
+	header := []string{"mode", "isolation", "seed", "plan", "ops", "forks", "audits", "injected", "peak-frames", "sys-p50", "sys-p99", "status"}
 	var out [][]string
 	totalOps, totalInj, failed := 0, 0, 0
 	for _, r := range rows {
@@ -102,10 +168,12 @@ func RenderStress(rows []StressRow) string {
 		}
 		totalOps += r.Res.Ops
 		totalInj += inj
+		lat := StressLatency(r)
 		out = append(out, []string{
 			r.Mode.String(), r.Iso.String(), fmt.Sprint(r.Seed), plan,
 			fmt.Sprint(r.Res.Ops), fmt.Sprint(r.Res.Forks), fmt.Sprint(r.Res.Checks),
-			fmt.Sprint(inj), fmt.Sprint(peak), status,
+			fmt.Sprint(inj), fmt.Sprint(peak),
+			ycsb.NS(lat.P50), ycsb.NS(lat.P99), status,
 		})
 	}
 	s := "Stress soak — seeded chaos runs (differential fuzzing + fault injection + invariant audits)\n" +

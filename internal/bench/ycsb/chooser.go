@@ -1,0 +1,153 @@
+package ycsb
+
+import "math"
+
+// rng is a splitmix64 stream: tiny, fast, and — unlike math/rand — an
+// explicit part of this package's contract, so the generated workloads
+// are byte-stable across Go releases (the golden tables and BENCH_8.json
+// depend on that).
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) rng { return rng{s: uint64(seed)} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// KeyChooser draws key indices in [0, n) under some popularity
+// distribution.
+type KeyChooser interface {
+	// Next returns the next key index.
+	Next() int
+	// Name names the distribution for tables and repro lines.
+	Name() string
+}
+
+// Uniform chooses keys uniformly: every key equally hot. The YCSB
+// "uniform" request distribution.
+type Uniform struct {
+	n   int
+	rng rng
+}
+
+// NewUniform builds a uniform chooser over n keys.
+func NewUniform(n int, seed int64) *Uniform {
+	if n <= 0 {
+		panic("ycsb: uniform chooser needs n > 0")
+	}
+	return &Uniform{n: n, rng: newRNG(seed)}
+}
+
+// Next returns a uniform key index. The modulo bias over 2^64 is below
+// one part in 10^13 for any realistic keyspace — invisible next to the
+// statistical tolerance of any test or SLO.
+func (u *Uniform) Next() int { return int(u.rng.next() % uint64(u.n)) }
+
+// Name implements KeyChooser.
+func (u *Uniform) Name() string { return "uniform" }
+
+// ZipfianTheta is the YCSB-standard skew constant.
+const ZipfianTheta = 0.99
+
+// Zipfian chooses keys under a zipfian popularity law — the YCSB
+// default request distribution, Gray et al.'s "Quickly generating
+// billion-record synthetic databases" rejection-free construction. With
+// theta=0.99 the head is hot the way real caches see it: over 10^5 keys
+// the single hottest key draws ~8% of requests and the top ten ~25%.
+//
+// Scrambled mode hashes the popularity rank before use (YCSB's
+// ScrambledZipfianGenerator): rank-0 heat lands on an arbitrary stable
+// key instead of key 0, so hot keys scatter across the keyspace — and
+// across the kvstore's hash buckets and value pages — rather than
+// clustering at the low indices the loader allocated together.
+type Zipfian struct {
+	n        int
+	scramble bool
+	rng      rng
+	alpha    float64
+	zetan    float64
+	eta      float64
+	thetaPow float64 // 0.5^theta, the rank-1 threshold
+}
+
+// NewZipfian builds a zipfian chooser over n keys with the standard
+// theta. The zeta normalizer is an O(n) precompute — microseconds for
+// 10^6 keys, done once per generator.
+func NewZipfian(n int, seed int64, scramble bool) *Zipfian {
+	if n <= 0 {
+		panic("ycsb: zipfian chooser needs n > 0")
+	}
+	theta := ZipfianTheta
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z := &Zipfian{
+		n:        n,
+		scramble: scramble,
+		rng:      newRNG(seed),
+		alpha:    1 / (1 - theta),
+		zetan:    zetan,
+		eta:      (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		thetaPow: math.Pow(0.5, theta),
+	}
+	return z
+}
+
+// zeta is the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next key index. Ranks are popularity order (rank 0
+// hottest); scrambled mode spreads the ranks over the keyspace with an
+// FNV-style mix.
+func (z *Zipfian) Next() int {
+	u := z.rng.float64()
+	uz := u * z.zetan
+	var rank int
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+z.thetaPow:
+		rank = 1
+	default:
+		rank = int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	if !z.scramble {
+		return rank
+	}
+	// Offset before mixing so rank 0 (the hottest) lands on an arbitrary
+	// key too — the finalizer alone maps 0 to 0.
+	return int(mix64(uint64(rank)+0x9e3779b97f4a7c15) % uint64(z.n))
+}
+
+// Name implements KeyChooser.
+func (z *Zipfian) Name() string {
+	if z.scramble {
+		return "zipfian"
+	}
+	return "zipfian-ranked"
+}
+
+// mix64 is a stateless 64-bit finalizer (splitmix64's) used to scramble
+// popularity ranks into stable arbitrary key indices.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,199 @@
+package ycsb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ufork/internal/obs"
+)
+
+// SLO is a declarative service-level objective over one finished load
+// run: a throughput floor, latency ceilings on the virtual-time
+// percentiles, and an error-rate ceiling. Zero-valued latency/throughput
+// gates are disabled; the error-rate gate is disabled when negative (so
+// MaxErrorRate: 0 is the strict "no errors allowed" contract). A run
+// that evaluates to any breach has failed its latency contract — the
+// harness exits non-zero and dumps the flight recorder.
+type SLO struct {
+	// MinThroughput is the ops/s floor in virtual time (0 disables).
+	MinThroughput float64
+	// MaxP50/MaxP99/MaxP999 are virtual-ns ceilings on the latency
+	// percentiles (0 disables each).
+	MaxP50  uint64
+	MaxP99  uint64
+	MaxP999 uint64
+	// MaxErrorRate is the ceiling on failed ops as a fraction of all ops
+	// (negative disables; 0 allows none).
+	MaxErrorRate float64
+}
+
+// Result is the run summary an SLO evaluates: op and error counts, the
+// virtual window the ops completed in, and the latency percentile
+// summary from the run's obs histogram.
+type Result struct {
+	Ops      int
+	Errs     int
+	WindowNS uint64
+	Lat      obs.HistSummary
+}
+
+// Throughput is the run's ops/s in virtual time.
+func (r Result) Throughput() float64 {
+	if r.WindowNS == 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.WindowNS) / 1e9)
+}
+
+// ErrorRate is the failed-op fraction.
+func (r Result) ErrorRate() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Errs) / float64(r.Ops)
+}
+
+// Breach is one violated gate, rendered want-vs-got.
+type Breach struct {
+	Gate string
+	Want string
+	Got  string
+}
+
+func (b Breach) String() string {
+	return fmt.Sprintf("%s: want %s, got %s", b.Gate, b.Want, b.Got)
+}
+
+// Evaluate checks every armed gate against the run summary and returns
+// the breaches in gate order (empty means the SLO held).
+func (s SLO) Evaluate(r Result) []Breach {
+	var breaches []Breach
+	if s.MinThroughput > 0 && r.Throughput() < s.MinThroughput {
+		breaches = append(breaches, Breach{
+			Gate: "throughput",
+			Want: fmt.Sprintf(">= %.0f op/s", s.MinThroughput),
+			Got:  fmt.Sprintf("%.0f op/s", r.Throughput()),
+		})
+	}
+	type pctGate struct {
+		name string
+		max  uint64
+		got  uint64
+	}
+	for _, g := range []pctGate{
+		{"p50", s.MaxP50, r.Lat.P50},
+		{"p99", s.MaxP99, r.Lat.P99},
+		{"p99.9", s.MaxP999, r.Lat.P999},
+	} {
+		if g.max > 0 && g.got > g.max {
+			breaches = append(breaches, Breach{
+				Gate: g.name,
+				Want: "<= " + NS(g.max),
+				Got:  NS(g.got),
+			})
+		}
+	}
+	if s.MaxErrorRate >= 0 && r.ErrorRate() > s.MaxErrorRate {
+		breaches = append(breaches, Breach{
+			Gate: "error-rate",
+			Want: fmt.Sprintf("<= %.3f%%", 100*s.MaxErrorRate),
+			Got:  fmt.Sprintf("%.3f%% (%d/%d)", 100*r.ErrorRate(), r.Errs, r.Ops),
+		})
+	}
+	return breaches
+}
+
+// String renders the armed gates the way ParseSLO accepts them.
+func (s SLO) String() string {
+	var parts []string
+	if s.MinThroughput > 0 {
+		parts = append(parts, fmt.Sprintf("tput=%.0f", s.MinThroughput))
+	}
+	if s.MaxP50 > 0 {
+		parts = append(parts, "p50="+NS(s.MaxP50))
+	}
+	if s.MaxP99 > 0 {
+		parts = append(parts, "p99="+NS(s.MaxP99))
+	}
+	if s.MaxP999 > 0 {
+		parts = append(parts, "p999="+NS(s.MaxP999))
+	}
+	if s.MaxErrorRate >= 0 {
+		parts = append(parts, fmt.Sprintf("err=%g%%", 100*s.MaxErrorRate))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// NS renders a virtual-ns quantity compactly (1.50ms, 200µs, 750ns).
+func NS(ns uint64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return trimZeros(fmt.Sprintf("%.2f", float64(ns)/1e9)) + "s"
+	case ns >= 1_000_000:
+		return trimZeros(fmt.Sprintf("%.2f", float64(ns)/1e6)) + "ms"
+	case ns >= 1_000:
+		return trimZeros(fmt.Sprintf("%.2f", float64(ns)/1e3)) + "µs"
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func trimZeros(s string) string {
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// ParseSLO parses a comma-separated gate spec:
+//
+//	tput=50000,p50=200us,p99=2ms,p999=10ms,err=1%
+//
+// Durations take any time.ParseDuration unit and are read as virtual
+// time; err takes a percentage (the % sign optional). Gates left out are
+// disabled — an empty spec is the always-passing SLO.
+func ParseSLO(spec string) (SLO, error) {
+	s := SLO{MaxErrorRate: -1}
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return s, fmt.Errorf("ycsb: bad SLO field %q (want key=value)", field)
+		}
+		switch key {
+		case "tput":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return s, fmt.Errorf("ycsb: bad SLO throughput %q", val)
+			}
+			s.MinThroughput = f
+		case "p50", "p99", "p999":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return s, fmt.Errorf("ycsb: bad SLO duration %q for %s", val, key)
+			}
+			ns := uint64(d.Nanoseconds())
+			switch key {
+			case "p50":
+				s.MaxP50 = ns
+			case "p99":
+				s.MaxP99 = ns
+			case "p999":
+				s.MaxP999 = ns
+			}
+		case "err":
+			f, err := strconv.ParseFloat(strings.TrimSuffix(val, "%"), 64)
+			if err != nil || f < 0 {
+				return s, fmt.Errorf("ycsb: bad SLO error rate %q", val)
+			}
+			s.MaxErrorRate = f / 100
+		default:
+			return s, fmt.Errorf("ycsb: unknown SLO gate %q", key)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,122 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+
+	"ufork/internal/obs"
+)
+
+func sampleResult() Result {
+	return Result{
+		Ops:      10_000,
+		Errs:     5,
+		WindowNS: 1_000_000_000, // 1 virtual second → 10000 op/s
+		Lat:      obs.HistSummary{P50: 200_000, P99: 2_000_000, P999: 8_000_000},
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	r := sampleResult()
+	pass := SLO{
+		MinThroughput: 9_000,
+		MaxP50:        500_000,
+		MaxP99:        5_000_000,
+		MaxP999:       10_000_000,
+		MaxErrorRate:  0.001,
+	}
+	if br := pass.Evaluate(r); len(br) != 0 {
+		t.Fatalf("passing SLO breached: %v", br)
+	}
+
+	for _, tc := range []struct {
+		name string
+		slo  SLO
+		gate string
+	}{
+		{"throughput floor", SLO{MinThroughput: 20_000, MaxErrorRate: -1}, "throughput"},
+		{"p50 ceiling", SLO{MaxP50: 100_000, MaxErrorRate: -1}, "p50"},
+		{"p99 ceiling", SLO{MaxP99: 1_000_000, MaxErrorRate: -1}, "p99"},
+		{"p99.9 ceiling", SLO{MaxP999: 1_000_000, MaxErrorRate: -1}, "p99.9"},
+		{"error rate", SLO{MaxErrorRate: 0}, "error-rate"},
+	} {
+		br := tc.slo.Evaluate(r)
+		if len(br) != 1 || br[0].Gate != tc.gate {
+			t.Errorf("%s: breaches %v, want exactly [%s]", tc.name, br, tc.gate)
+		}
+	}
+
+	// Disabled gates never fire: the zero SLO with error gate off passes
+	// anything.
+	if br := (SLO{MaxErrorRate: -1}).Evaluate(r); len(br) != 0 {
+		t.Errorf("all-disabled SLO breached: %v", br)
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO("tput=50000,p50=200us,p99=2ms,p999=10ms,err=1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SLO{
+		MinThroughput: 50_000,
+		MaxP50:        200_000,
+		MaxP99:        2_000_000,
+		MaxP999:       10_000_000,
+		MaxErrorRate:  0.01,
+	}
+	if s != want {
+		t.Fatalf("parsed %+v, want %+v", s, want)
+	}
+
+	// Omitted gates are disabled; empty spec always passes.
+	s, err = ParseSLO("p99=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinThroughput != 0 || s.MaxErrorRate >= 0 || s.MaxP50 != 0 {
+		t.Fatalf("omitted gates not disabled: %+v", s)
+	}
+	if s, err = ParseSLO(""); err != nil || len(s.Evaluate(sampleResult())) != 0 {
+		t.Fatalf("empty spec must always pass (err=%v)", err)
+	}
+
+	for _, bad := range []string{"p99", "p99=fast", "err=-3", "tput=0", "warp=9"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOStringRoundTrip(t *testing.T) {
+	s, err := ParseSLO("tput=50000,p99=2ms,err=0.5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSLO(s.String())
+	if err != nil {
+		t.Fatalf("String() %q does not reparse: %v", s.String(), err)
+	}
+	if back != s {
+		t.Fatalf("round trip %+v != %+v", back, s)
+	}
+}
+
+func TestNSRendering(t *testing.T) {
+	for _, tc := range []struct {
+		ns   uint64
+		want string
+	}{
+		{750, "750ns"},
+		{200_000, "200µs"},
+		{1_500_000, "1.5ms"},
+		{2_000_000_000, "2s"},
+	} {
+		if got := NS(tc.ns); got != tc.want {
+			t.Errorf("NS(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+	if !strings.Contains((Breach{Gate: "p99", Want: "<= 1ms", Got: "2ms"}).String(), "p99: want <= 1ms, got 2ms") {
+		t.Error("breach rendering changed")
+	}
+}

@@ -1,0 +1,86 @@
+// Package ycsb is the YCSB-style workload plane of the load harness: the
+// classic A/B/C read/write mixes (Cooper et al., SoCC '10) over uniform
+// and zipfian key choosers, generated from one seed so a million-op soak
+// replays bit-for-bit, plus the declarative SLO spec the harness asserts
+// against a finished run's virtual-time latency summary.
+//
+// The package is pure workload description — no kernels, no clocks. The
+// bench package drives the generated op stream against the kvstore and
+// httpd apps (see bench.YCSBSweep); EXPERIMENTS.md documents the
+// measured mixes against SNIPPETS.md Snippet 3's recordcount=100000 /
+// operationcount=5000000 tcache-vs-Redis loadtest, whose parameters the
+// full-mode defaults mirror.
+package ycsb
+
+// Op is one generated operation kind.
+type Op int
+
+// The YCSB core operation kinds the A/B/C mixes draw from.
+const (
+	OpRead Op = iota
+	OpUpdate
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "update"
+}
+
+// Mix is one YCSB workload mix: the read share of the op stream, with the
+// remainder updates. The classic core mixes are predeclared; a Mix is
+// plain data so callers can define bespoke blends.
+type Mix struct {
+	Name    string
+	ReadPct int // 0..100; updates are the remainder
+}
+
+// The classic YCSB core mixes (Snippet 3 runs exactly these three
+// against Redis).
+var (
+	MixA = Mix{Name: "A", ReadPct: 50}  // update heavy: 50/50 read/update
+	MixB = Mix{Name: "B", ReadPct: 95}  // read mostly: 95/5
+	MixC = Mix{Name: "C", ReadPct: 100} // read only
+)
+
+// Mixes is the standard sweep order.
+var Mixes = []Mix{MixA, MixB, MixC}
+
+// MixByName resolves "a"/"b"/"c" (any case) to the core mix.
+func MixByName(name string) (Mix, bool) {
+	switch name {
+	case "a", "A":
+		return MixA, true
+	case "b", "B":
+		return MixB, true
+	case "c", "C":
+		return MixC, true
+	}
+	return Mix{}, false
+}
+
+// Generator yields the deterministic op stream of one load client: an op
+// kind drawn from the mix and a key index drawn from the chooser. Two
+// generators built with the same (mix, chooser parameters, seed) yield
+// identical streams on any host.
+type Generator struct {
+	mix     Mix
+	chooser KeyChooser
+	rng     rng
+}
+
+// NewGenerator builds a generator over the given mix and chooser. The
+// seed drives only the read/update coin; the chooser carries its own.
+func NewGenerator(mix Mix, chooser KeyChooser, seed int64) *Generator {
+	return &Generator{mix: mix, chooser: chooser, rng: newRNG(seed)}
+}
+
+// Next returns the next operation and its key index.
+func (g *Generator) Next() (Op, int) {
+	op := OpUpdate
+	if int(g.rng.next()%100) < g.mix.ReadPct {
+		op = OpRead
+	}
+	return op, g.chooser.Next()
+}

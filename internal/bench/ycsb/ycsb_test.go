@@ -1,0 +1,178 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfianHeadMass checks the ranked zipfian chooser against the
+// analytic law: the head ranks must draw their zipf share of requests
+// within sampling tolerance. Table-driven over keyspace sizes.
+func TestZipfianHeadMass(t *testing.T) {
+	const draws = 400_000
+	for _, tc := range []struct {
+		n    int
+		seed int64
+	}{
+		{1_000, 1},
+		{100_000, 7},
+	} {
+		z := NewZipfian(tc.n, tc.seed, false)
+		counts := make(map[int]int)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		zetan := zeta(tc.n, ZipfianTheta)
+		// Single hottest rank.
+		wantHead := 1 / zetan
+		gotHead := float64(counts[0]) / draws
+		if math.Abs(gotHead-wantHead) > 0.15*wantHead {
+			t.Errorf("n=%d: rank-0 mass %.4f, want %.4f ±15%%", tc.n, gotHead, wantHead)
+		}
+		// Top-10 cumulative mass.
+		wantTop := zeta(10, ZipfianTheta) / zetan
+		var top int
+		for r := 0; r < 10; r++ {
+			top += counts[r]
+		}
+		gotTop := float64(top) / draws
+		if math.Abs(gotTop-wantTop) > 0.05*wantTop {
+			t.Errorf("n=%d: top-10 mass %.4f, want %.4f ±5%%", tc.n, gotTop, wantTop)
+		}
+		// The tail must still be reachable: far more distinct keys than the
+		// head, none out of range.
+		for k := range counts {
+			if k < 0 || k >= tc.n {
+				t.Fatalf("n=%d: drew out-of-range key %d", tc.n, k)
+			}
+		}
+	}
+}
+
+// TestZipfianScrambleSpreads checks that scrambled mode moves the head
+// heat off the low indices without changing the mass distribution: the
+// hottest key still owns ~1/zeta(n) of draws, but is not key 0, and the
+// ten hottest keys are scattered across the keyspace.
+func TestZipfianScrambleSpreads(t *testing.T) {
+	const n, draws = 100_000, 200_000
+	z := NewZipfian(n, 3, true)
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	hotKey, hotCount := -1, 0
+	for k, c := range counts {
+		if c > hotCount {
+			hotKey, hotCount = k, c
+		}
+	}
+	wantHead := 1 / zeta(n, ZipfianTheta)
+	gotHead := float64(hotCount) / draws
+	if math.Abs(gotHead-wantHead) > 0.15*wantHead {
+		t.Errorf("hottest key mass %.4f, want %.4f ±15%%", gotHead, wantHead)
+	}
+	if hotKey < 100 {
+		t.Errorf("hottest key %d still clustered at the low indices", hotKey)
+	}
+}
+
+// TestUniformUnbiased checks the uniform chooser: every key's draw share
+// within 5%% of 1/n (3σ at this sample size is ~3%%), covering the whole
+// keyspace.
+func TestUniformUnbiased(t *testing.T) {
+	const n, draws = 16, 320_000
+	u := NewUniform(n, 11)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := u.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("out-of-range key %d", k)
+		}
+		counts[k]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("key %d drawn %d times, want %.0f ±5%%", k, c, want)
+		}
+	}
+}
+
+// TestChooserDeterminism: both choosers and the full generator are
+// byte-deterministic for a fixed seed across two independent runs —
+// the property the golden tables and BENCH_8.json replay relies on.
+func TestChooserDeterminism(t *testing.T) {
+	const n, draws = 4096, 20_000
+	for _, tc := range []struct {
+		name string
+		mk   func() KeyChooser
+	}{
+		{"uniform", func() KeyChooser { return NewUniform(n, 42) }},
+		{"zipfian", func() KeyChooser { return NewZipfian(n, 42, true) }},
+		{"zipfian-ranked", func() KeyChooser { return NewZipfian(n, 42, false) }},
+	} {
+		a, b := tc.mk(), tc.mk()
+		for i := 0; i < draws; i++ {
+			if ka, kb := a.Next(), b.Next(); ka != kb {
+				t.Fatalf("%s: draw %d differs between same-seed runs: %d vs %d", tc.name, i, ka, kb)
+			}
+		}
+	}
+	ga := NewGenerator(MixA, NewZipfian(n, 9, true), 9)
+	gb := NewGenerator(MixA, NewZipfian(n, 9, true), 9)
+	for i := 0; i < draws; i++ {
+		oa, ka := ga.Next()
+		ob, kb := gb.Next()
+		if oa != ob || ka != kb {
+			t.Fatalf("generator: op %d differs between same-seed runs: %v/%d vs %v/%d", i, oa, ka, ob, kb)
+		}
+	}
+}
+
+// TestChooserPinnedPrefix pins the exact first draws of each seeded
+// stream: splitmix64 and the Gray construction are part of the package
+// contract, and silently changing either would invalidate every golden.
+func TestChooserPinnedPrefix(t *testing.T) {
+	u := NewUniform(1000, 1)
+	z := NewZipfian(1000, 1, false)
+	wantU := []int{465, 519, 590, 235, 761, 48, 45, 533}
+	wantZ := []int{37, 146, 804, 14, 14, 167, 397, 26}
+	for i := range wantU {
+		if got := u.Next(); got != wantU[i] {
+			t.Fatalf("uniform draw %d = %d, want %d (splitmix64 stream changed?)", i, got, wantU[i])
+		}
+	}
+	for i := range wantZ {
+		if got := z.Next(); got != wantZ[i] {
+			t.Fatalf("zipfian draw %d = %d, want %d (zipf construction changed?)", i, got, wantZ[i])
+		}
+	}
+}
+
+// TestMixComposition checks the generated read share of each core mix.
+func TestMixComposition(t *testing.T) {
+	const draws = 200_000
+	for _, tc := range []struct {
+		mix  Mix
+		want float64
+	}{
+		{MixA, 0.50},
+		{MixB, 0.95},
+		{MixC, 1.00},
+	} {
+		g := NewGenerator(tc.mix, NewUniform(1024, 5), 5)
+		reads := 0
+		for i := 0; i < draws; i++ {
+			if op, _ := g.Next(); op == OpRead {
+				reads++
+			}
+		}
+		got := float64(reads) / draws
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("mix %s: read share %.4f, want %.2f ±0.01", tc.mix.Name, got, tc.want)
+		}
+		if tc.mix.ReadPct == 100 && reads != draws {
+			t.Errorf("mix %s: %d updates generated in a read-only mix", tc.mix.Name, draws-reads)
+		}
+	}
+}
