@@ -4,19 +4,27 @@
 //
 // Usage:
 //
-//	promlint [file]       # default: stdin
+//	promlint [-require fam1,fam2] [file]       # default: stdin
+//
+// -require names metric families that must be present with at least one
+// sample — CI's guard that an observability plane (e.g. the causal
+// tracer's ufork_trace_* families) actually exported data, not just that
+// whatever was exported parses.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ufork/internal/telemetry"
 )
 
 func main() {
+	require := flag.String("require", "", "comma-separated metric families that must have samples")
 	flag.Parse()
 	var r io.Reader = os.Stdin
 	name := "<stdin>"
@@ -29,9 +37,26 @@ func main() {
 		defer f.Close()
 		r, name = f, flag.Arg(0)
 	}
-	errs := telemetry.Lint(r)
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	errs := telemetry.Lint(bytes.NewReader(buf))
 	for _, err := range errs {
 		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+	}
+	if *require != "" {
+		var families []string
+		for _, f := range strings.Split(*require, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				families = append(families, f)
+			}
+		}
+		for _, f := range telemetry.MissingFamilies(bytes.NewReader(buf), families) {
+			fmt.Fprintf(os.Stderr, "promlint: %s: required family %s has no samples\n", name, f)
+			errs = append(errs, fmt.Errorf("missing %s", f))
+		}
 	}
 	if len(errs) > 0 {
 		os.Exit(1)

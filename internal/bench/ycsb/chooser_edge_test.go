@@ -1,0 +1,45 @@
+package ycsb
+
+import "testing"
+
+// TestZipfianTinyKeyspaces pins the degenerate keyspaces the rejection-free
+// construction is most fragile on: n=1 (zeta normalizer 1, eta's 2/n term
+// above 1) and n=2 (the whole mass split across the two closed-form rank
+// branches). Both must draw without panicking and stay in [0, n) under
+// the scrambled and ranked variants — the scrambler's modulo must not
+// escape the keyspace even when ranks hash far above it.
+func TestZipfianTinyKeyspaces(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		for _, scramble := range []bool{false, true} {
+			z := NewZipfian(n, 42, scramble)
+			seen := map[int]bool{}
+			for i := 0; i < 10_000; i++ {
+				k := z.Next()
+				if k < 0 || k >= n {
+					t.Fatalf("n=%d scramble=%v: draw %d out of range [0,%d)", n, scramble, k, n)
+				}
+				seen[k] = true
+			}
+			if n == 1 && (len(seen) != 1 || !seen[0]) {
+				t.Errorf("n=1 scramble=%v: draws %v, want only key 0", scramble, seen)
+			}
+			// Ranked n=2 must exercise both branches: rank 0 carries ~75%
+			// of the mass at theta=0.99, rank 1 the rest. (Scrambled draws
+			// may legitimately collapse to one key if both ranks hash to
+			// the same residue, so coverage is only asserted ranked.)
+			if n == 2 && !scramble && len(seen) != 2 {
+				t.Errorf("n=2 ranked: draws %v, want both ranks hit over 10k draws", seen)
+			}
+		}
+	}
+}
+
+// TestUniformSingleKey: the uniform chooser's modulo path at n=1.
+func TestUniformSingleKey(t *testing.T) {
+	u := NewUniform(1, 7)
+	for i := 0; i < 1000; i++ {
+		if k := u.Next(); k != 0 {
+			t.Fatalf("n=1 uniform drew %d", k)
+		}
+	}
+}

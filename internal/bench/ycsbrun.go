@@ -12,6 +12,7 @@ import (
 	"ufork/internal/chaos"
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
+	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/sim"
 )
@@ -119,6 +120,10 @@ type YCSBRow struct {
 	// flightDump is the flight-recorder tail captured when the cell
 	// breached its SLO; YCSBFailures embeds it in the returned error.
 	flightDump string
+	// traceDump is the causal plane's top slow-op trace trees captured on
+	// breach: each exemplar names its dominant critical-path segment, so
+	// the failure report says where the tail went, not just that it blew.
+	traceDump string
 }
 
 // Result folds the row into the summary shape the SLO evaluates.
@@ -249,15 +254,39 @@ func ycsbFlight(k *kernel.Kernel) *flight.Recorder {
 	return fr
 }
 
+// ycsbCausal picks the cell's trace-context plane: the live telemetry
+// plane when Track armed one, otherwise a private per-cell plane — so a
+// breach report always has exemplar trace trees, and a served sweep
+// accumulates every cell's exemplars on /traces.
+func ycsbCausal(k *kernel.Kernel) *causal.Plane {
+	if k.Causal.On() {
+		return k.Causal
+	}
+	pl := causal.New(0)
+	pl.Enable()
+	k.ArmCausal(pl)
+	return pl
+}
+
+// ycsbGroup names a cell's exemplar reservoir.
+func ycsbGroup(c ycsbCell) string {
+	return fmt.Sprintf("ycsb/%s/%s/%s/%dc", c.workload, c.mix.Name, c.locks, c.cores)
+}
+
+// ycsbTraceTop bounds the trace trees a breach report embeds.
+const ycsbTraceTop = 3
+
 // ycsbFinish computes the row's latency summary, evaluates the SLO, and
-// captures the breach dump. Called at window close, while the cell's
+// captures the breach dumps. Called at window close, while the cell's
 // kernel is still up: the recorder tail then shows the workload's last
-// syscalls and faults instead of the teardown's frame frees.
-func ycsbFinish(row *YCSBRow, hist *obs.Histogram, fr *flight.Recorder) {
+// syscalls and faults instead of the teardown's frame frees, and the
+// causal plane still holds the cell's slow-op exemplars.
+func ycsbFinish(row *YCSBRow, hist *obs.Histogram, fr *flight.Recorder, pl *causal.Plane) {
 	row.Lat = hist.Summary()
 	row.Breaches = row.SLO.Evaluate(row.Result())
 	if len(row.Breaches) > 0 {
 		row.flightDump = fr.TextDump(flight.DumpTail)
+		row.traceDump = pl.RenderTop(ycsbTraceTop)
 	}
 }
 
@@ -312,6 +341,8 @@ func ycsbKV(c ycsbCell) (YCSBRow, error) {
 	dataPages := c.keys * (ycsbValueBytes + 256) / int(kernel.PageSize)
 	k := build(contentionSystem(c.locks), c.cores, 2*dataPages+1<<16)
 	fr := ycsbFlight(k)
+	pl := ycsbCausal(k)
+	group := ycsbGroup(c)
 	row := YCSBRow{
 		Workload: "kvstore", Mix: c.mix, Chooser: "zipfian", Locks: c.locks,
 		Cores: c.cores, Keys: c.keys, Chaos: c.chaos, SLO: c.slo,
@@ -373,7 +404,14 @@ func ycsbKV(c ycsbCell) (YCSBRow, error) {
 				for i := 0; i < opsPerWorker; i++ {
 					cp.Task.Advance(ycsbThink)
 					op, key := gen.Next()
+					opName := "read"
+					if op != ycsb.OpRead {
+						opName = "update"
+					}
+					// Trace brackets exactly the latency measurement: the
+					// root span's segments sum to the recorded latency.
 					opStart := cp.Now()
+					k.TraceBegin(cp, group, opName)
 					var opErr error
 					if op == ycsb.OpRead {
 						_, opErr = ws.Get(ycsbKeyName(key))
@@ -385,7 +423,9 @@ func ycsbKV(c ycsbCell) (YCSBRow, error) {
 						}
 						updates[w]++
 					}
-					ycsbObserve(hist, "kvstore", c.mix.Name, cp.Now()-opStart)
+					lat := cp.Now() - opStart
+					k.TraceEnd(cp)
+					ycsbObserve(hist, "kvstore", c.mix.Name, lat)
 					if opErr != nil {
 						errs[w]++
 					}
@@ -406,6 +446,11 @@ func ycsbKV(c ycsbCell) (YCSBRow, error) {
 		outstanding := ycsbWorkers
 		parentErrs := 0
 		for workersLeft > 0 {
+			// Each snapshot cycle is its own traced op: the BGSAVE fork
+			// joins the child with a fork edge, so the exemplar shows the
+			// snapshot's deferred-copy cost on the child row and the
+			// parent's reap wait as block:child.
+			k.TraceBegin(p, group, "bgsave")
 			if _, err := store.BGSave("/dump.rdb"); err != nil {
 				parentErrs++ // injected fork failure
 			} else {
@@ -413,6 +458,7 @@ func ycsbKV(c ycsbCell) (YCSBRow, error) {
 				row.BGSaves++
 			}
 			pid, status, err := reapRetry(k, p, &parentErrs)
+			k.TraceEnd(p)
 			if err != nil {
 				return err
 			}
@@ -449,7 +495,7 @@ func ycsbKV(c ycsbCell) (YCSBRow, error) {
 		row.Ops = row.Reads + row.Updates
 		row.Errs += parentErrs
 		row.WindowNS = uint64(end - start)
-		ycsbFinish(&row, hist, fr)
+		ycsbFinish(&row, hist, fr, pl)
 		return nil
 	})
 	if inj != nil {
@@ -467,6 +513,8 @@ func ycsbPath(i int) string { return fmt.Sprintf("/y/k%06d", i) }
 func ycsbHTTPD(c ycsbCell) (YCSBRow, error) {
 	k := build(contentionSystem(c.locks), c.cores, 1<<16)
 	fr := ycsbFlight(k)
+	pl := ycsbCausal(k)
+	group := ycsbGroup(c)
 	row := YCSBRow{
 		Workload: "httpd", Mix: c.mix, Chooser: "zipfian", Locks: c.locks,
 		Cores: c.cores, Keys: c.keys, Chaos: c.chaos, SLO: c.slo,
@@ -514,7 +562,15 @@ func ycsbHTTPD(c ycsbCell) (YCSBRow, error) {
 				gen := ycsb.NewGenerator(c.mix, ycsb.NewZipfian(c.keys, c.seed+int64(d)*7919, true), c.seed^int64(d+1))
 				for i := 0; i < opsPerDriver; i++ {
 					op, key := gen.Next()
+					opName := "GET"
+					if op != ycsb.OpRead {
+						opName = "PUT"
+					}
+					// The driver's request bytes carry the trace into the
+					// serving worker through the connection pipes: the
+					// exemplar shows a pipe edge driver→worker.
 					opStart := dp.Now()
+					k.TraceBegin(dp, group, opName)
 					var (
 						res   httpd.ClientResult
 						opErr error
@@ -529,7 +585,9 @@ func ycsbHTTPD(c ycsbCell) (YCSBRow, error) {
 						want = "201"
 						updates[d]++
 					}
-					ycsbObserve(hist, "httpd", c.mix.Name, dp.Now()-opStart)
+					lat := dp.Now() - opStart
+					k.TraceEnd(dp)
+					ycsbObserve(hist, "httpd", c.mix.Name, lat)
 					if opErr != nil || !strings.Contains(res.Status, want) {
 						errs[d]++
 					}
@@ -561,7 +619,7 @@ func ycsbHTTPD(c ycsbCell) (YCSBRow, error) {
 			row.Errs += errs[d]
 		}
 		row.Ops = row.Reads + row.Updates
-		ycsbFinish(&row, hist, fr)
+		ycsbFinish(&row, hist, fr, pl)
 		return nil
 	})
 	if inj != nil {
@@ -603,11 +661,12 @@ func RenderYCSB(rows []YCSBRow) string {
 }
 
 // YCSBFailures returns an error describing every breached cell — repro
-// line, want-vs-got gates, and the flight-recorder tail of the first
-// breach — or nil when every cell held its SLO.
+// line, want-vs-got gates, the top-k classified slow-op trace trees, and
+// the flight-recorder tail of the first breach — or nil when every cell
+// held its SLO.
 func YCSBFailures(rows []YCSBRow) error {
 	var msgs []string
-	dump := ""
+	dump, traces := "", ""
 	for _, r := range rows {
 		if len(r.Breaches) == 0 {
 			continue
@@ -621,9 +680,12 @@ func YCSBFailures(rows []YCSBRow) error {
 		if dump == "" {
 			dump = r.flightDump
 		}
+		if traces == "" {
+			traces = r.traceDump
+		}
 	}
 	if len(msgs) == 0 {
 		return nil
 	}
-	return fmt.Errorf("bench: ycsb SLO breached:\n  %s\n%s", strings.Join(msgs, "\n  "), dump)
+	return fmt.Errorf("bench: ycsb SLO breached:\n  %s\n%s%s", strings.Join(msgs, "\n  "), traces, dump)
 }

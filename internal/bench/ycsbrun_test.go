@@ -209,13 +209,23 @@ func TestYCSBSLOBreachFires(t *testing.T) {
 		if r.flightDump == "" {
 			t.Errorf("%s/%s: breach captured no flight dump", r.Workload, r.Mix.Name)
 		}
+		if r.traceDump == "" {
+			t.Errorf("%s/%s: breach captured no causal trace trees", r.Workload, r.Mix.Name)
+		}
 	}
 	ferr := YCSBFailures(rows)
 	if ferr == nil {
 		t.Fatal("YCSBFailures nil on a breached sweep")
 	}
 	msg := ferr.Error()
-	for _, want := range []string{"p99", "want <= 1ns", "flight recorder: last", "sysret"} {
+	// The breach report must carry the gate verdicts, the top-k classified
+	// slow-op trace trees (with the classifier's cause line), and the
+	// flight-recorder tail — where the tail went, not just that it blew.
+	for _, want := range []string{
+		"p99", "want <= 1ns",
+		"causal exemplars — top", "cause=", "trace #",
+		"flight recorder: last", "sysret",
+	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("breach error missing %q:\n%s", want, msg)
 		}

@@ -12,6 +12,7 @@ import (
 	"ufork/internal/core"
 	"ufork/internal/kernel"
 	"ufork/internal/model"
+	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
 	"ufork/internal/tmem"
@@ -43,6 +44,10 @@ type Config struct {
 	// per-CPU frame caches. The shadow model is lock-agnostic, so the same
 	// programs verify both configurations.
 	SMP bool
+	// TraceGroup names the causal plane's exemplar reservoir for this run
+	// (the stress soak labels each cell window); "" derives
+	// "chaos/<mode>/<iso>" from the configuration.
+	TraceGroup string
 	// mutate, when set (tests only), sabotages the kernel after arming so
 	// the harness can prove it catches deliberately broken kernels.
 	mutate func(k *kernel.Kernel)
@@ -154,20 +159,41 @@ func Run(cfg Config, prog []byte) (Result, error) {
 		pl.Enable()
 		k.ArmMemmap(pl)
 	}
+	// Arm causal tracing the same way: keep the live telemetry plane when
+	// Track installed one, else a private per-run plane — a failure dump
+	// then always carries the run's slowest classified trace trees.
+	if k.Causal == nil {
+		cpl := causal.New(0)
+		cpl.Enable()
+		k.ArmCausal(cpl)
+	}
+	traceGroup := cfg.TraceGroup
+	if traceGroup == "" {
+		traceGroup = fmt.Sprintf("chaos/%s/%s", cfg.Mode, cfg.Iso)
+	}
 	h := &harness{cfg: cfg, k: k, opsLeft: cfg.MaxOps, live: 1, maxLive: 1}
 	in := NewInjector(cfg.Seed, cfg.Plan)
 	h.in = in
 
-	// fail appends the flight-recorder tail below the formatted failure
-	// (which always ends with the one-line repro), so every failure ships
-	// with the kernel event history that led up to it.
+	// fail appends the top classified slow-op trace trees and the
+	// flight-recorder tail below the formatted failure (which always ends
+	// with the one-line repro), so every failure ships with both where the
+	// time went and the kernel event history that led up to it.
 	fail := func(format string, args ...any) error {
-		return fmt.Errorf("%s\n%s", fmt.Sprintf(format, args...), fr.TextDump(flight.DumpTail))
+		msg := fmt.Sprintf(format, args...)
+		if trees := k.Causal.RenderTop(3); trees != "" {
+			msg += "\n" + trees
+		}
+		return fmt.Errorf("%s\n%s", msg, fr.TextDump(flight.DumpTail))
 	}
 
 	_, err := k.Spawn(kernel.HelloWorldSpec(), 0, func(p *kernel.Proc) {
+		// The root program is one traced op: forked children join with
+		// fork edges, so the run's exemplar is its whole process tree.
+		k.TraceBegin(p, traceGroup, "chaos-program")
 		ps := &procState{h: h, p: p, prog: prog, sh: newShadow(p)}
 		ps.run()
+		k.TraceEnd(p)
 	})
 	if err != nil {
 		return Result{}, fail("chaos: root spawn: %v [repro: %s]", err, cfg.Repro())

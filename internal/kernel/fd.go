@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"ufork/internal/obs/causal"
 	"ufork/internal/sim"
 )
 
@@ -133,6 +134,12 @@ type pipeCore struct {
 	readers int
 	writers int
 	rq, wq  sim.WaitQueue
+	// stampTrace/stampPID carry the causal context of the most recent
+	// traced writer, so a reader without its own op in flight joins the
+	// writer's trace (httpd requests flow driver→worker this way). Zero
+	// when tracing is off or the writer was untraced.
+	stampTrace causal.TraceID
+	stampPID   int32
 }
 
 // PipeReader is the read end of a pipe.
@@ -161,7 +168,7 @@ func (r *PipeReader) Read(k *Kernel, p *Proc, buf []byte) (int, error) {
 		if c.writers == 0 {
 			return 0, nil // EOF
 		}
-		p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p, func() {
+		p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p, "block:pipe", func() {
 			c.rq.Wait(p.Task)
 		})))
 		blocked = true
@@ -173,6 +180,11 @@ func (r *PipeReader) Read(k *Kernel, p *Proc, buf []byte) (int, error) {
 	c.buf = c.buf[n:]
 	p.Task.Book(sim.Time(n) * k.Machine.PipeByte)
 	c.wq.WakeAll(p.Task, p.Task.Now())
+	if c.stampTrace != 0 {
+		// Data carried a traced writer's context across the pipe: a reader
+		// with no op of its own joins that trace (no-op otherwise).
+		k.causalAdopt(p, causal.EdgePipe, c.stampTrace, c.stampPID)
+	}
 	return n, nil
 }
 
@@ -198,6 +210,9 @@ func (w *PipeWriter) Read(*Kernel, *Proc, []byte) (int, error) {
 // Write blocks while the pipe is full and readers remain.
 func (w *PipeWriter) Write(k *Kernel, p *Proc, buf []byte) (int, error) {
 	c := w.c
+	if s := k.causalSpan(p); s != nil {
+		c.stampTrace, c.stampPID = s.Trace(), int32(p.PID)
+	}
 	total := 0
 	for len(buf) > 0 {
 		if c.readers == 0 {
@@ -205,7 +220,7 @@ func (w *PipeWriter) Write(k *Kernel, p *Proc, buf []byte) (int, error) {
 		}
 		space := c.cap - len(c.buf)
 		if space == 0 {
-			p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p, func() {
+			p.Acct.BlockPipeNS.Add(uint64(blockAccounted(p, "block:pipe", func() {
 				c.wq.Wait(p.Task)
 			})))
 			k.chargeSwitch(p)
@@ -314,7 +329,7 @@ func (l *Listener) Accept(p *Proc) (*Conn, error) {
 		if l.closed {
 			return nil, ErrPipeClosed
 		}
-		p.Acct.BlockNetNS.Add(uint64(blockAccounted(p, func() {
+		p.Acct.BlockNetNS.Add(uint64(blockAccounted(p, "block:net", func() {
 			l.aq.Wait(p.Task)
 		})))
 		blocked = true

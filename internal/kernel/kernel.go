@@ -21,6 +21,7 @@ import (
 	"ufork/internal/cap"
 	"ufork/internal/model"
 	"ufork/internal/obs"
+	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
@@ -315,6 +316,13 @@ type Kernel struct {
 	// the fork-tree sharing view. Armed via ArmMemmap before the simulation
 	// runs; nil in production.
 	Memmap *memmap.Plane
+
+	// Causal, when non-nil, is the armed causal trace-context plane
+	// (internal/obs/causal): request origins mint trace IDs, the kernel
+	// carries them across fork/pipe/signal boundaries, and the delay hooks
+	// flush per-trace critical-path segments. Armed via ArmCausal; nil in
+	// production, where every hook pays one nil check.
+	Causal *causal.Plane
 	// memPhase classifies the kernel activity frames allocated right now
 	// should be attributed to (image load, eager fork copy, fault
 	// resolution, shm). Written only from the simulation goroutine.
@@ -774,6 +782,9 @@ func (k *Kernel) terminate(p *Proc, status int) {
 	}
 	fg := k.Machine.FineGrainedLocks
 	t := p.Task
+	// A traced process closes its span before teardown: the exit path's
+	// lock footprint below belongs to kernel bookkeeping, not the op.
+	k.causalExit(p)
 	// Whether the region can be reclaimed is known before teardown starts,
 	// so the residual lock can join the pre-acquired footprint below.
 	releaseRegion := k.Machine.SingleAddressSpace && p.Parent != nil && p.Forked == 0

@@ -6,6 +6,7 @@ import (
 
 	"ufork/internal/cap"
 	"ufork/internal/obs"
+	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
@@ -95,6 +96,12 @@ type Proc struct {
 	sysEnter sim.Time
 	sysNo    SysNo
 
+	// cspan is the process's live causal-trace span (internal/obs/causal):
+	// a root minted by TraceBegin, or a member joined via a fork, pipe, or
+	// signal edge. Nil when untraced — the one check every causal hook
+	// pays on the disabled path. Touched only on the simulation goroutine.
+	cspan *causal.Span
+
 	// lk is the μprocess lock — the per-process footprint every syscall
 	// acquires on fine-grained machines (rank uproc, seq = PID) — and fdlk
 	// guards the descriptor table (rank fdtable). Initialized strict by
@@ -135,6 +142,10 @@ func permForAccess(acc vm.Access) cap.Perm {
 	}
 }
 
+// faultModeNames decode the fault-resolution mode (the same encoding
+// KindFrameOwnerChange uses) into causal-segment labels.
+var faultModeNames = [...]string{"mapped", "cow", "coa", "copa"}
+
 // translate resolves va for the access, invoking the fork engine's fault
 // handler (CoW / CoA / CoPA resolution) as needed.
 func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
@@ -159,6 +170,16 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		// Taking the fault costs a trap + handler dispatch. Everything
 		// from here to the handler's return is fault-service time.
 		fault0 := p.Task.Now()
+		// Bracket the fault-service window in the causal trace: checkpoint
+		// up to the fault, then mark. The copy mode is only known after the
+		// handler runs, so the window's unattributed segments are relabeled
+		// to fault:<mode> at the end — nested hooks (a contended tmem
+		// acquisition) keep their own site labels inside the window.
+		cmark := -1
+		if cs := p.k.causalSpan(p); cs != nil {
+			cs.Checkpoint(fault0, p.Task.Delays())
+			cmark = cs.Mark()
+		}
 		p.Task.Advance(p.k.Machine.PageFault)
 		// Snapshot the faulting page's frame before the handler runs: if
 		// the resolution breaks sharing, this is the ancestor frame the
@@ -263,6 +284,12 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		if p.k.Flight.On() {
 			p.k.Flight.Emit(uint64(p.Task.Now()), int32(p.PID), flight.KindFaultDone,
 				uint64(fault.Kind), copied, relocs)
+		}
+		if cmark >= 0 {
+			if cs := p.k.causalSpan(p); cs != nil {
+				cs.Checkpoint(p.Task.Now(), p.Task.Delays())
+				cs.RelabelWindow(cmark, "fault:"+faultModeNames[mode])
+			}
 		}
 	}
 	return tmem.NoFrame, 0, fmt.Errorf("%w: fault loop at %#x", ErrSegfault, va)

@@ -1,6 +1,10 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+
+	"ufork/internal/obs/causal"
+)
 
 // Signal numbers (the POSIX subset the workloads use).
 type Signal int
@@ -22,12 +26,21 @@ const (
 // kernel that only interrupts at the user/kernel boundary provides.
 type SigHandler func(p *Proc, sig Signal)
 
+// pendingSig is one queued signal plus the causal context it carries:
+// the sender's trace and PID, so delivery can join the target to the
+// sender's trace with a signal edge. Zero trace when untraced.
+type pendingSig struct {
+	sig   Signal
+	trace causal.TraceID
+	from  int32
+}
+
 // sigState is the per-process signal bookkeeping (§4.5 "per-process
 // kernel state": signals are among the state unikernels must grow for
 // multiprocessing).
 type sigState struct {
 	handlers map[Signal]SigHandler
-	pending  []Signal
+	pending  []pendingSig
 }
 
 // Sigaction registers (or, with a nil handler, resets) the disposition of
@@ -72,7 +85,11 @@ func (k *Kernel) SignalPID(p *Proc, pid PID, sig Signal) error {
 	if sig == SIGKILL {
 		target.killed = true
 	} else {
-		target.sig.pending = append(target.sig.pending, sig)
+		ps := pendingSig{sig: sig}
+		if s := k.causalSpan(p); s != nil {
+			ps.trace, ps.from = s.Trace(), int32(p.PID)
+		}
+		target.sig.pending = append(target.sig.pending, ps)
 	}
 	k.unlockRemote(p, target)
 	return nil
@@ -82,8 +99,14 @@ func (k *Kernel) SignalPID(p *Proc, pid PID, sig Signal) error {
 // at kernel entry, after the kill check.
 func (k *Kernel) deliverSignals(p *Proc) {
 	for len(p.sig.pending) > 0 {
-		sig := p.sig.pending[0]
+		ps := p.sig.pending[0]
 		p.sig.pending = p.sig.pending[1:]
+		sig := ps.sig
+		if ps.trace != 0 {
+			// The signal carried its sender's causal context: a target with
+			// no op in flight joins the sender's trace (no-op otherwise).
+			k.causalAdopt(p, causal.EdgeSignal, ps.trace, ps.from)
+		}
 		if h, ok := p.sig.handlers[sig]; ok {
 			// Handler runs on the process's own task context.
 			p.Task.Advance(k.Machine.CtxSwitch) // signal frame setup/teardown
@@ -105,9 +128,12 @@ func (k *Kernel) deliverSignals(p *Proc) {
 	}
 }
 
-// notifyChild queues SIGCHLD for a parent whose child terminated.
+// notifyChild queues SIGCHLD for a parent whose child terminated. The
+// exiting child's span is already closed by this point, so SIGCHLD
+// carries no causal context — the parent reaping a traced fork is
+// already the trace's origin.
 func (k *Kernel) notifyChild(parent *Proc) {
 	if parent.sig.handlers[SIGCHLD] != nil {
-		parent.sig.pending = append(parent.sig.pending, SIGCHLD)
+		parent.sig.pending = append(parent.sig.pending, pendingSig{sig: SIGCHLD})
 	}
 }

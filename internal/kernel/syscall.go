@@ -91,6 +91,11 @@ func (k *Kernel) lockWait(p *Proc, l *sim.VLock) {
 		k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindLockWait,
 			uint64(w), uint64(p.sysNo), 0)
 	}
+	if s := k.causalSpan(p); s != nil {
+		// Flush the wait into the trace under the contended site's name
+		// before another lock's wait can blur into the same bucket.
+		s.CheckpointAs(sim.DelayLockWait, "lock:"+causalLockSite(l), t.Now(), t.Delays())
+	}
 }
 
 // chargeSwitch bills one scheduler context switch to p: register state,
@@ -323,6 +328,7 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	}
 	p.LastFork = stats
 	k.startProc(child, p.Task.Now(), childEntry)
+	k.causalFork(p, child, p.Task.Now())
 	return child.PID, nil
 }
 
@@ -381,7 +387,7 @@ func (k *Kernel) Wait(p *Proc) (PID, int, error) {
 				return c.PID, c.exitStatus, nil
 			}
 		}
-		p.Acct.BlockChildNS.Add(uint64(blockAccounted(p, func() {
+		p.Acct.BlockChildNS.Add(uint64(blockAccounted(p, "block:child", func() {
 			p.childExit.Wait(p.Task)
 		})))
 	}

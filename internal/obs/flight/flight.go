@@ -76,6 +76,16 @@ const (
 	// KindDispatch is a core grant that had to queue behind busy cores.
 	// Args: queueing delay (virtual ns).
 	KindDispatch
+	// KindTraceStart is a causal trace origin: an op minted a trace ID on
+	// this μprocess. Args: trace ID.
+	KindTraceStart
+	// KindTraceEdge is a causal handoff that pulled another μprocess into
+	// a trace. Args: trace ID, edge kind (0=fork, 1=pipe, 2=signal), peer
+	// PID (the child/reader/target that joined).
+	KindTraceEdge
+	// KindTraceEnd is a completed causal trace. Args: trace ID, root-span
+	// latency (virtual ns).
+	KindTraceEnd
 	numKinds
 )
 
@@ -83,10 +93,16 @@ var kindNames = [numKinds]string{
 	"syscall", "sysret", "fork-start", "fork-done", "fault", "fault-done",
 	"frame-alloc", "frame-free", "ctx-switch", "proc-spawn", "proc-exit",
 	"mark", "frame-owner", "lock-wait", "dispatch",
+	"trace-start", "trace-edge", "trace-end",
 }
 
 // ownerChangeModes decodes KindFrameOwnerChange's mode argument.
 var ownerChangeModes = [...]string{"?", "cow", "coa", "copa"}
+
+// traceEdgeNames decodes KindTraceEdge's edge-kind argument (mirroring
+// causal.EdgeKind; flight cannot import causal without inverting the
+// dependency).
+var traceEdgeNames = [...]string{"fork", "pipe", "signal"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -142,6 +158,16 @@ func (e Event) Format() string {
 		return fmt.Sprintf("%12d  pid=%-3d lock-wait   wait=%dns no=%d", e.TS, e.PID, e.Args[0], e.Args[1])
 	case KindDispatch:
 		return fmt.Sprintf("%12d  pid=%-3d dispatch    wait=%dns", e.TS, e.PID, e.Args[0])
+	case KindTraceStart:
+		return fmt.Sprintf("%12d  pid=%-3d trace-start id=%d", e.TS, e.PID, e.Args[0])
+	case KindTraceEdge:
+		edge := "?"
+		if e.Args[1] < uint64(len(traceEdgeNames)) {
+			edge = traceEdgeNames[e.Args[1]]
+		}
+		return fmt.Sprintf("%12d  pid=%-3d trace-edge  id=%d kind=%s peer=%d", e.TS, e.PID, e.Args[0], edge, e.Args[2])
+	case KindTraceEnd:
+		return fmt.Sprintf("%12d  pid=%-3d trace-end   id=%d lat=%dns", e.TS, e.PID, e.Args[0], e.Args[1])
 	default:
 		return fmt.Sprintf("%12d  pid=%-3d %v a0=%d a1=%d a2=%d", e.TS, e.PID, e.Kind, e.Args[0], e.Args[1], e.Args[2])
 	}

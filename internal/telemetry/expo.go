@@ -10,6 +10,7 @@ import (
 
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
+	"ufork/internal/obs/causal"
 	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
 )
@@ -37,6 +38,10 @@ type Exposition struct {
 	// renders nothing.
 	Locks []*sim.LockMeter
 	Sched *sim.SchedStats
+
+	// Traces, when non-nil, adds the ufork_trace_* families from the
+	// causal trace-context plane. Nil renders nothing.
+	Traces *causal.Snapshot
 
 	FlightSeq     uint64
 	FlightDropped uint64
@@ -95,6 +100,7 @@ func WriteMetrics(w io.Writer, e Exposition) error {
 	writeMemmapMetrics(bw, e.Memmap)
 	writeLockMetrics(bw, e.Locks)
 	writeSchedMetrics(bw, e.Sched)
+	writeTraceMetrics(bw, e.Traces)
 
 	fmt.Fprintf(bw, "# HELP ufork_flight_events_total flight-recorder events emitted\n"+
 		"# TYPE ufork_flight_events_total counter\nufork_flight_events_total %d\n", e.FlightSeq)
@@ -291,6 +297,30 @@ func writeSchedMetrics(bw *bufio.Writer, s *sim.SchedStats) {
 	}
 	fmt.Fprintf(bw, "# HELP ufork_sched_horizon_seconds latest core-slot end observed (utilization denominator)\n"+
 		"# TYPE ufork_sched_horizon_seconds gauge\nufork_sched_horizon_seconds %s\n", secs(snap.HorizonNS))
+}
+
+// writeTraceMetrics renders the causal-tracing families: trace lifecycle
+// counters, causal edges by kind, and the exemplar reservoir population.
+func writeTraceMetrics(bw *bufio.Writer, t *causal.Snapshot) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(bw, "# HELP ufork_trace_started_total causal traces begun at request/op origins\n"+
+		"# TYPE ufork_trace_started_total counter\nufork_trace_started_total %d\n", t.Started)
+	fmt.Fprintf(bw, "# HELP ufork_trace_finished_total causal traces whose root span closed\n"+
+		"# TYPE ufork_trace_finished_total counter\nufork_trace_finished_total %d\n", t.Finished)
+	kinds := make([]string, 0, len(t.Edges))
+	for k := range t.Edges {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(bw, "# HELP ufork_trace_edges_total causal handoffs recorded, by edge kind\n"+
+		"# TYPE ufork_trace_edges_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(bw, "ufork_trace_edges_total{kind=%q} %d\n", k, t.Edges[k])
+	}
+	fmt.Fprintf(bw, "# HELP ufork_trace_exemplars slow-trace exemplars retained across group reservoirs\n"+
+		"# TYPE ufork_trace_exemplars gauge\nufork_trace_exemplars %d\n", t.Exemplars)
 }
 
 // sanitize maps an obs metric name (dot/dash separated) onto the

@@ -191,6 +191,41 @@ func Lint(r io.Reader) []error {
 	return errs
 }
 
+// MissingFamilies reports which of the named metric families have no
+// sample line in the exposition. A family counts as present only when at
+// least one of its samples appears (HELP/TYPE headers alone do not) —
+// the check CI uses to assert a plane actually exported data, e.g. the
+// ufork_trace_* families after a traced sweep. Histogram families are
+// matched through their _bucket/_sum/_count sample suffixes.
+func MissingFamilies(r io.Reader, families []string) []string {
+	present := map[string]struct{}{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		present[name] = struct{}{}
+		for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name {
+				present[base] = struct{}{}
+			}
+		}
+	}
+	var missing []string
+	for _, f := range families {
+		if _, ok := present[f]; !ok {
+			missing = append(missing, f)
+		}
+	}
+	return missing
+}
+
 // groupKey renders a bucket line's label set with le removed — the
 // identity of the logical histogram the bucket belongs to.
 func groupKey(labels []label) string {

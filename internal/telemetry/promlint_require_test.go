@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMissingFamilies covers the -require contract: a family is present
+// only when at least one of its sample lines is — HELP/TYPE headers alone
+// are an exported-nothing bug, and histogram families count through their
+// _bucket/_sum/_count suffixes.
+func TestMissingFamilies(t *testing.T) {
+	expo := `# TYPE ufork_trace_started_total counter
+ufork_trace_started_total 12
+# TYPE ufork_trace_edges_total counter
+ufork_trace_edges_total{kind="fork"} 3
+# TYPE ufork_headers_only gauge
+# TYPE ufork_fork_latency_ns histogram
+ufork_fork_latency_ns_bucket{le="+Inf"} 2
+ufork_fork_latency_ns_sum 300
+ufork_fork_latency_ns_count 2
+`
+	cases := []struct {
+		families []string
+		missing  []string
+	}{
+		{[]string{"ufork_trace_started_total"}, nil},
+		{[]string{"ufork_trace_edges_total"}, nil},
+		{[]string{"ufork_fork_latency_ns"}, nil}, // via _bucket/_sum/_count
+		{[]string{"ufork_headers_only"}, []string{"ufork_headers_only"}},
+		{[]string{"ufork_trace_exemplars"}, []string{"ufork_trace_exemplars"}},
+		{
+			[]string{"ufork_trace_started_total", "ufork_nope", "ufork_fork_latency_ns", "ufork_headers_only"},
+			[]string{"ufork_nope", "ufork_headers_only"},
+		},
+		{nil, nil},
+	}
+	for _, c := range cases {
+		got := MissingFamilies(strings.NewReader(expo), c.families)
+		if !reflect.DeepEqual(got, c.missing) {
+			t.Errorf("MissingFamilies(%v) = %v, want %v", c.families, got, c.missing)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"ufork/internal/kernel"
 	"ufork/internal/obs"
+	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
 	"ufork/internal/sim"
@@ -26,12 +27,13 @@ import (
 // read only atomic state, so serving concurrently with a running
 // simulation is safe.
 type Server struct {
-	obs   *obs.Obs
-	fr    *flight.Recorder
-	pl    *memmap.Plane
-	locks *sim.LockTable
-	cur   atomic.Pointer[kernel.Kernel]
-	ln    net.Listener
+	obs    *obs.Obs
+	fr     *flight.Recorder
+	pl     *memmap.Plane
+	causal *causal.Plane
+	locks  *sim.LockTable
+	cur    atomic.Pointer[kernel.Kernel]
+	ln     net.Listener
 
 	// Addr is the bound listen address, set by Start (useful with ":0").
 	Addr string
@@ -49,7 +51,10 @@ func New(o *obs.Obs, fr *flight.Recorder) *Server {
 	}
 	pl := memmap.New()
 	pl.Enable()
-	return &Server{obs: o, fr: fr, pl: pl, locks: sim.NewLockTable()}
+	// The causal plane starts disabled — Start enables it when the live
+	// telemetry plane is armed, so embedded/test servers keep a genuine
+	// "not armed" /traces state.
+	return &Server{obs: o, fr: fr, pl: pl, causal: causal.New(0), locks: sim.NewLockTable()}
 }
 
 // Track makes k the kernel /procs and per-proc /metrics families reflect,
@@ -64,6 +69,9 @@ func (s *Server) Track(k *kernel.Kernel) {
 	}
 	if k != nil && k.Eng != nil {
 		k.ArmLockstat(s.locks)
+	}
+	if k != nil {
+		k.ArmCausal(s.causal)
 	}
 }
 
@@ -85,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/locks", s.handleLocks)
 	mux.HandleFunc("/sched", s.handleSched)
 	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -106,6 +115,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /locks          lockstat: per-lock acquisitions, contention, wait/hold summaries, JSON
   /sched          scheduler telemetry: run-queue depth, dispatch latency, core utilization, JSON
   /flight         flight-recorder tail (?n=64, ?format=text|chrome)
+  /traces         causal-trace exemplars: K slowest traces per group with critical-path segments (?k=N, ?format=json|chrome)
   /debug/pprof/   host-process profiling
 `)
 }
@@ -122,6 +132,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.pl.On() {
 		snap := s.pl.Snapshot(0)
 		e.Memmap = &snap
+	}
+	if s.causal.On() || s.causal.Started() > 0 {
+		snap := s.causal.Snapshot(0)
+		e.Traces = &snap
 	}
 	if k := s.cur.Load(); k != nil {
 		if k.Locks != nil {
@@ -227,6 +241,40 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	_ = s.fr.WriteText(w, n)
 }
 
+// handleTraces serves the causal plane's exemplar reservoirs: the K
+// slowest finished traces per group as JSON (default) or Chrome
+// trace_event format (?format=chrome), each with critical-path segments,
+// flow edges, and the classifier's root-cause verdict.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	// Like /flight: a plane that was never enabled and saw no traces is a
+	// clean client-visible condition, not a healthy-but-idle empty 200.
+	if !s.causal.On() && s.causal.Started() == 0 {
+		http.Error(w, "causal tracing not armed", http.StatusConflict)
+		return
+	}
+	k := 0 // all retained exemplars
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+	switch r.URL.Query().Get("format") {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.causal.WriteChromeTrace(w, k)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.causal.Snapshot(k))
+	default:
+		http.Error(w, "bad format", http.StatusBadRequest)
+	}
+}
+
 // Start arms the live telemetry plane on addr: enables the obs layer and
 // the default flight recorder, installs kernel tracking, binds the
 // listener (failing fast on a bad address), and serves in the background
@@ -235,6 +283,7 @@ func Start(addr string) (*Server, error) {
 	obs.Enable()
 	flight.Default.Enable()
 	s := New(obs.Default, flight.Default)
+	s.causal.Enable()
 	kernel.TrackNew = s.Track
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -30,9 +30,11 @@ func TestHandlerErrorPaths(t *testing.T) {
 		{"/memmap?frames=1e3", http.StatusBadRequest, "bad frames"},
 		{"/nonsense", http.StatusNotFound, "not found"},
 		{"/locks/extra", http.StatusNotFound, "not found"},
+		{"/traces", http.StatusConflict, "not armed"},
 		{"/metrics", http.StatusOK, "ufork_"},
 		{"/locks", http.StatusOK, "["},
 		{"/sched", http.StatusOK, "cores"},
+		{"/procs", http.StatusOK, "["},
 	}
 	for _, c := range cases {
 		res, body := get(t, h, c.path)
@@ -62,6 +64,67 @@ func TestFlightEndpointNotArmed(t *testing.T) {
 	s.fr.Disable()
 	if res, _ := get(t, s.Handler(), "/flight"); res.StatusCode != http.StatusOK {
 		t.Fatalf("armed-then-disabled /flight status = %d, want 200", res.StatusCode)
+	}
+}
+
+// TestTracesEndpointErrorPaths is the /traces table: an armed plane must
+// answer bad query input with a clean 400 and serve both formats on good
+// input — the unarmed 409 is covered by TestHandlerErrorPaths and
+// TestTracesEndpointNotArmed.
+func TestTracesEndpointErrorPaths(t *testing.T) {
+	s := testServer()
+	s.causal.Enable()
+	cases := []struct {
+		path     string
+		status   int
+		bodyFrag string
+	}{
+		{"/traces?k=bogus", http.StatusBadRequest, "bad k"},
+		{"/traces?k=-1", http.StatusBadRequest, "bad k"},
+		{"/traces?k=2.5", http.StatusBadRequest, "bad k"},
+		{"/traces?format=xml", http.StatusBadRequest, "bad format"},
+		{"/traces?format=text", http.StatusBadRequest, "bad format"},
+		{"/traces", http.StatusOK, `"started"`},
+		{"/traces?k=2", http.StatusOK, `"exemplars"`},
+		{"/traces?format=json", http.StatusOK, `"groups"`},
+		{"/traces?format=chrome", http.StatusOK, "traceEvents"},
+	}
+	for _, c := range cases {
+		res, body := get(t, s.Handler(), c.path)
+		if res.StatusCode != c.status {
+			t.Errorf("GET %s = %d, want %d (body %q)", c.path, res.StatusCode, c.status, body)
+		}
+		if !strings.Contains(body, c.bodyFrag) {
+			t.Errorf("GET %s body %q missing %q", c.path, body, c.bodyFrag)
+		}
+	}
+}
+
+// TestTracesEndpointNotArmed mirrors the flight recorder's contract: a
+// plane that never traced is a 409, but once it has finished a trace the
+// exemplars stay servable even after the plane is disabled.
+func TestTracesEndpointNotArmed(t *testing.T) {
+	s := testServer()
+	res, body := get(t, s.Handler(), "/traces")
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("unarmed /traces status = %d, want 409", res.StatusCode)
+	}
+	if !strings.Contains(body, "not armed") {
+		t.Fatalf("unarmed /traces body = %q", body)
+	}
+	s.causal.Enable()
+	var delays [sim.NumDelayKinds]sim.Time
+	sp := s.causal.Begin("g", "op", 1, "p", 0, delays)
+	delays[sim.DelayRun] = 100
+	sp.Checkpoint(100, delays)
+	s.causal.Close(sp, 100)
+	s.causal.Disable()
+	res, body = get(t, s.Handler(), "/traces")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("armed-then-disabled /traces status = %d, want 200", res.StatusCode)
+	}
+	if !strings.Contains(body, `"op": "op"`) {
+		t.Fatalf("retained exemplar missing from /traces body:\n%s", body)
 	}
 }
 
