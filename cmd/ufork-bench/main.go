@@ -3,41 +3,14 @@
 //
 // Usage:
 //
-//	ufork-bench [-exp all|table1|fig3..fig9|ablation|tocttou|forkserver|forkhist|footprint|contention|stress]
-//	            [-full] [-trace out.json] [-metrics out.json] [-parallel N] [-seed N] [-cores 1,2,4,8]
-//	            [-check-scaling]
+//	ufork-bench [-exp <experiment>] [-full] [-trace out.json] [-metrics out.json]
+//	            [-profile out.folded] [-parallel N] [-seed N] [-cores 1,2,4,8]
+//	            [-serve addr] [-check-scaling] [-mix A,B,C] [-ops N] [-keys N]
+//	            [-locks bkl,smp] [-chaos] [-slo spec]
 //
-// -exp contention sweeps the httpd worker fleet and a
-// kvstore-with-BGSAVE loop across simulated core counts (-cores), under
-// both the big kernel lock and the split fine-grained hierarchy, and
-// renders throughput against each configuration's global-lock share of
-// wait time — the paper's §4.5 single-core ceiling as a measurement, next
-// to what breaking the lock buys. The rows are checked in as BENCH_7.json.
-// -check-scaling additionally exits non-zero unless the split-lock rows
-// clear the scaling gates (CI's scaling-smoke job).
-//
-// -exp footprint sweeps fork depth × copy mode and reports the
-// RSS/PSS/USS decomposition of the whole fork chain after each
-// generation — the bytes still shared with ancestors that lazy copy
-// retains and eager copy forfeits.
-//
-// -exp stress (never part of "all") soaks the kernel with the chaos
-// harness: seeded random syscall programs across every copy mode ×
-// isolation level, clean and under aggressive fault injection, with
-// kernel-wide invariant audits. Any failure prints a one-line repro
-// carrying the seed; -seed replays it. Every stress row must also clear
-// the syscall-latency SLO (-slo overrides the built-in gate).
-//
-// -exp ycsb (never part of "all") runs the YCSB-style load harness:
-// deterministic A/B/C mixes over zipfian keys against the kvstore (with
-// BGSAVE snapshot forks firing mid-run) and the httpd worker fleet, in
-// both lock configurations across -cores, recording per-op virtual-time
-// latency and asserting each cell's SLO — plus one fault-injected cell
-// per workload proving the gate stays honest under chaos. -mix, -ops,
-// -keys, -locks, -chaos and -slo reshape the sweep; -full runs the
-// paper-scale soak (10^5 keys, 10^6 ops per cell). A breached SLO exits
-// non-zero with the flight-recorder tail of the offending run. The
-// quick-mode rows are checked in as BENCH_8.json.
+// The experiment set is defined by a single registry (see experiments
+// below); `-exp all` runs every non-explicit entry, and the synopsis of
+// each experiment is printed by `-exp list`.
 //
 // Quick mode (default) uses reduced database sizes, windows and iteration
 // counts; -full runs the paper's parameters (100 MB databases, 1000
@@ -48,10 +21,15 @@
 // Perfetto). -metrics enables it too and writes a JSON snapshot of the
 // aggregated counters and latency histograms next to the rendered tables.
 //
+// -profile arms the virtual-time sampling profiler on every kernel the
+// run boots and writes the aggregate folded-stack profile (flamegraph.pl
+// input) to the given file at exit. With -serve, the same plane also
+// serves /profile live.
+//
 // -serve starts the live telemetry plane (Prometheus /metrics, JSON
-// /procs of the currently booted kernel, /flight dumps, pprof) and keeps
-// serving after the experiments finish so the final state can be scraped;
-// interrupt to exit.
+// /procs of the currently booted kernel, /flight dumps, /profile, pprof)
+// and keeps serving after the experiments finish so the final state can
+// be scraped; interrupt to exit.
 package main
 
 import (
@@ -64,19 +42,362 @@ import (
 
 	"ufork/internal/bench"
 	"ufork/internal/bench/ycsb"
+	"ufork/internal/kernel"
 	"ufork/internal/obs"
+	"ufork/internal/obs/profile"
 	"ufork/internal/sim"
 	"ufork/internal/telemetry"
 )
 
+// runCfg carries the parsed flag state every experiment runs against.
+type runCfg struct {
+	full         bool
+	seed         int64
+	coresFlag    string
+	checkScaling bool
+	mixFlag      string
+	opsFlag      int
+	keysFlag     int
+	locksFlag    string
+	chaosFlag    bool
+	sloFlag      string
+}
+
+// experiment is one -exp entry. Everything the command knows about an
+// experiment — its name, its aliases, whether "all" includes it, and how
+// to run it — lives in this registry, and the usage text is generated
+// from it, so the dispatched set and the documented set cannot drift.
+type experiment struct {
+	name     string
+	aliases  []string
+	synopsis string
+	// explicit experiments never run under -exp all: they are robustness
+	// harnesses or cross-run studies, not paper tables.
+	explicit bool
+	run      func(c *runCfg) error
+}
+
+// experiments is the registry. Order is the -exp all execution order.
+var experiments = []experiment{
+	{
+		name:     "table1",
+		synopsis: "design-space taxonomy of SASOS fork systems (paper Table 1)",
+		run: func(c *runCfg) error {
+			fmt.Println(bench.RenderTable1(bench.Table1()))
+			return nil
+		},
+	},
+	{
+		name:     "fig3",
+		aliases:  []string{"fig4", "fig5", "ablation", "tocttou"},
+		synopsis: "Redis BGSAVE sweep: fork latency, tail impact, copy-mode ablation",
+		run: func(c *runCfg) error {
+			sizes := bench.RedisSizesQuick
+			if c.full {
+				sizes = bench.RedisSizesFull
+			}
+			rows, err := bench.RedisSweep(sizes)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderRedis(rows))
+			fmt.Println(bench.RenderAblation(rows))
+			return nil
+		},
+	},
+	{
+		name:     "fig6",
+		synopsis: "FaaS cold-start throughput window",
+		run: func(c *runCfg) error {
+			window := 200 * sim.Millisecond
+			if c.full {
+				window = sim.Second
+			}
+			rows, err := bench.FaaSSweep(window)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFaaS(rows))
+			return nil
+		},
+	},
+	{
+		name:     "fig7",
+		synopsis: "Nginx worker-fleet throughput window",
+		run: func(c *runCfg) error {
+			window := 50 * sim.Millisecond
+			if c.full {
+				window = 250 * sim.Millisecond
+			}
+			rows, err := bench.NginxSweep(window)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderNginx(rows))
+			return nil
+		},
+	},
+	{
+		name:     "fig8",
+		synopsis: "hello-world fork+exit end-to-end latency",
+		run: func(c *runCfg) error {
+			rows, err := bench.HelloWorld()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderHello(rows))
+			return nil
+		},
+	},
+	{
+		name:     "fig9",
+		synopsis: "Unixbench spawn and context-switch microbenchmarks",
+		run: func(c *runCfg) error {
+			spawnIters := bench.SpawnItersQuick
+			ctx1 := uint64(bench.Context1TargetQuik)
+			if c.full {
+				spawnIters = bench.SpawnItersFull
+				ctx1 = bench.Context1TargetFull
+			}
+			rows, err := bench.Unixbench(spawnIters, ctx1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderUnixbench(rows))
+			return nil
+		},
+	},
+	{
+		name:     "forkserver",
+		synopsis: "pre-fork server pool latency sweep",
+		run: func(c *runCfg) error {
+			n := 40
+			if c.full {
+				n = 200
+			}
+			rows, err := bench.ForkServerSweep(n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderForkServer(rows))
+			return nil
+		},
+	},
+	{
+		name:     "forkhist",
+		synopsis: "fork-latency distribution across copy modes",
+		run: func(c *runCfg) error {
+			iters := bench.ForkHistItersQuick
+			if c.full {
+				iters = bench.ForkHistItersFull
+			}
+			rows, err := bench.ForkHist(iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderForkHist(rows))
+			return nil
+		},
+	},
+	{
+		name:     "contention",
+		synopsis: "BKL vs split-lock multicore scaling sweep (-cores, -check-scaling)",
+		run: func(c *runCfg) error {
+			window := sim.Time(bench.ContentionWindowQuick)
+			if c.full {
+				window = bench.ContentionWindowFull
+			}
+			cores, err := parseCores(c.coresFlag)
+			if err != nil {
+				return err
+			}
+			rows, err := bench.ContentionSweep(window, cores)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderContention(rows))
+			if c.checkScaling {
+				if err := bench.CheckContentionScaling(rows); err != nil {
+					return err
+				}
+				fmt.Println("scaling gates passed: smp httpd >= 2x at 4 cores, residual share < 40%")
+			}
+			return nil
+		},
+	},
+	{
+		name:     "footprint",
+		synopsis: "fork-chain RSS/PSS/USS decomposition across copy modes",
+		run: func(c *runCfg) error {
+			rows, err := bench.Footprint()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFootprint(rows))
+			return nil
+		},
+	},
+	{
+		name:     "stress",
+		explicit: true,
+		synopsis: "chaos soak: seeded random syscall programs under fault injection, with invariant audits and a syscall-latency SLO",
+		run: func(c *runCfg) error {
+			rounds, maxOps := 2, 2500
+			if c.full {
+				rounds, maxOps = 10, 8000
+			}
+			slo := bench.DefaultStressSLO()
+			if c.sloFlag != "" {
+				var err error
+				slo, err = ycsb.ParseSLO(c.sloFlag)
+				if err != nil {
+					return err
+				}
+			}
+			rows := bench.Stress(c.seed, rounds, maxOps)
+			fmt.Println(bench.RenderStress(rows))
+			if err := bench.StressFailures(rows); err != nil {
+				return err
+			}
+			return bench.CheckStressSLO(rows, slo)
+		},
+	},
+	{
+		name:     "ycsb",
+		explicit: true,
+		synopsis: "YCSB load harness: A/B/C zipfian mixes vs kvstore+BGSAVE and httpd, per-cell latency SLOs (-mix, -ops, -keys, -locks, -chaos, -slo)",
+		run: func(c *runCfg) error {
+			opts, err := c.ycsbOpts()
+			if err != nil {
+				return err
+			}
+			rows, err := bench.YCSBSweep(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderYCSB(rows))
+			return bench.YCSBFailures(rows)
+		},
+	},
+	{
+		name:     "profdiff",
+		explicit: true,
+		synopsis: "cross-run profile diff: the same seeded YCSB coordinate profiled under bkl and smp, top signed per-stack virtual-time deltas",
+		run: func(c *runCfg) error {
+			keys, ops := c.keysFlag, c.opsFlag
+			if c.full {
+				if keys == 0 {
+					keys = bench.YCSBKeysFull
+				}
+				if ops == 0 {
+					ops = bench.YCSBOpsFull
+				}
+			}
+			out, err := bench.ProfDiff(keys, ops)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		},
+	},
+}
+
+// ycsbOpts assembles the YCSB sweep options from the flag state.
+func (c *runCfg) ycsbOpts() (bench.YCSBOpts, error) {
+	mixes, err := parseMixes(c.mixFlag)
+	if err != nil {
+		return bench.YCSBOpts{}, err
+	}
+	cores, err := parseCores(c.coresFlag)
+	if err != nil {
+		return bench.YCSBOpts{}, err
+	}
+	opts := bench.YCSBOpts{
+		Mixes: mixes, Keys: c.keysFlag, Ops: c.opsFlag,
+		Cores: cores, Seed: c.seed, Chaos: c.chaosFlag,
+	}
+	if c.locksFlag != "" {
+		opts.Locks = strings.Split(c.locksFlag, ",")
+	}
+	if c.full {
+		if opts.Keys == 0 {
+			opts.Keys = bench.YCSBKeysFull
+		}
+		if opts.Ops == 0 {
+			opts.Ops = bench.YCSBOpsFull
+		}
+	}
+	if c.sloFlag != "" {
+		slo, err := ycsb.ParseSLO(c.sloFlag)
+		if err != nil {
+			return bench.YCSBOpts{}, err
+		}
+		opts.SLO = &slo
+	}
+	return opts, nil
+}
+
+// expUsage generates the -exp flag help from the registry.
+func expUsage() string {
+	var names []string
+	for _, e := range experiments {
+		n := e.name
+		if len(e.aliases) > 0 {
+			n += "/" + strings.Join(e.aliases, "/")
+		}
+		if e.explicit {
+			n += " (explicit-only)"
+		}
+		names = append(names, n)
+	}
+	return "experiment to run: all, list, " + strings.Join(names, ", ")
+}
+
+// expList renders the -exp list table: every registry entry with its
+// synopsis and whether -exp all includes it.
+func expList() string {
+	var b strings.Builder
+	b.WriteString("experiments (-exp <name>; 'all' runs every non-explicit entry):\n")
+	for _, e := range experiments {
+		name := e.name
+		if len(e.aliases) > 0 {
+			name += " (" + strings.Join(e.aliases, ", ") + ")"
+		}
+		mark := " "
+		if e.explicit {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "  %s %-28s %s\n", mark, name, e.synopsis)
+	}
+	b.WriteString("  * explicit-only: never part of -exp all\n")
+	return b.String()
+}
+
+// findExperiment resolves an -exp value against the registry.
+func findExperiment(name string) (experiment, bool) {
+	for _, e := range experiments {
+		if e.name == name {
+			return e, true
+		}
+		for _, a := range e.aliases {
+			if a == name {
+				return e, true
+			}
+		}
+	}
+	return experiment{}, false
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig9, ablation, tocttou, forkserver, forkhist, footprint, contention, stress, ycsb)")
+	exp := flag.String("exp", "all", expUsage())
 	full := flag.Bool("full", false, "run the paper's full parameters (slower)")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file (enables tracing)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON snapshot to this file (enables metrics)")
+	profilePath := flag.String("profile", "", "arm the virtual-time profiler on every kernel and write the aggregate folded-stack profile to this file")
 	parallel := flag.Int("parallel", 0, "host worker-pool width for eager fork copies (0 = one per CPU, 1 = serial); virtual-time results are identical at any setting")
 	seed := flag.Int64("seed", 1, "base seed for -exp stress; a failure's printed repro line names the exact seed to replay")
-	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, pprof) on this address; keeps serving after the run until interrupted")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /procs, /flight, /profile, pprof) on this address; keeps serving after the run until interrupted")
 	coresFlag := flag.String("cores", "1,2,4,8", "comma-separated core counts for -exp contention and -exp ycsb")
 	checkScaling := flag.Bool("check-scaling", false, "with -exp contention: exit non-zero unless the split-lock rows clear the scaling gates (httpd 4-core >= 2x 1-core, residual share < 40%)")
 	mixFlag := flag.String("mix", "A,B,C", "comma-separated YCSB mixes for -exp ycsb (A=50/50, B=95/5 read-mostly, C=read-only)")
@@ -99,154 +420,52 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s/\n", tsrv.Addr)
 	}
-
-	sizes := bench.RedisSizesQuick
-	faasWindow := 200 * sim.Millisecond
-	nginxWindow := 50 * sim.Millisecond
-	spawnIters := bench.SpawnItersQuick
-	ctx1 := uint64(bench.Context1TargetQuik)
-	if *full {
-		sizes = bench.RedisSizesFull
-		faasWindow = sim.Second
-		nginxWindow = 250 * sim.Millisecond
-		spawnIters = bench.SpawnItersFull
-		ctx1 = bench.Context1TargetFull
-	}
-
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
-
-	if want("table1") {
-		fmt.Println(bench.RenderTable1(bench.Table1()))
-		ran = true
-	}
-	if want("fig3") || want("fig4") || want("fig5") || want("ablation") || want("tocttou") {
-		rows, err := bench.RedisSweep(sizes)
-		die(err)
-		fmt.Println(bench.RenderRedis(rows))
-		fmt.Println(bench.RenderAblation(rows))
-		ran = true
-	}
-	if want("fig6") {
-		rows, err := bench.FaaSSweep(faasWindow)
-		die(err)
-		fmt.Println(bench.RenderFaaS(rows))
-		ran = true
-	}
-	if want("fig7") {
-		rows, err := bench.NginxSweep(nginxWindow)
-		die(err)
-		fmt.Println(bench.RenderNginx(rows))
-		ran = true
-	}
-	if want("fig8") {
-		rows, err := bench.HelloWorld()
-		die(err)
-		fmt.Println(bench.RenderHello(rows))
-		ran = true
-	}
-	if want("fig9") {
-		rows, err := bench.Unixbench(spawnIters, ctx1)
-		die(err)
-		fmt.Println(bench.RenderUnixbench(rows))
-		ran = true
-	}
-	if want("forkserver") {
-		n := 40
-		if *full {
-			n = 200
-		}
-		rows, err := bench.ForkServerSweep(n)
-		die(err)
-		fmt.Println(bench.RenderForkServer(rows))
-		ran = true
-	}
-	if want("forkhist") {
-		iters := bench.ForkHistItersQuick
-		if *full {
-			iters = bench.ForkHistItersFull
-		}
-		rows, err := bench.ForkHist(iters)
-		die(err)
-		fmt.Println(bench.RenderForkHist(rows))
-		ran = true
-	}
-	if want("contention") {
-		window := sim.Time(bench.ContentionWindowQuick)
-		if *full {
-			window = bench.ContentionWindowFull
-		}
-		cores, err := parseCores(*coresFlag)
-		die(err)
-		rows, err := bench.ContentionSweep(window, cores)
-		die(err)
-		fmt.Println(bench.RenderContention(rows))
-		if *checkScaling {
-			die(bench.CheckContentionScaling(rows))
-			fmt.Println("scaling gates passed: smp httpd >= 2x at 4 cores, residual share < 40%")
-		}
-		ran = true
-	}
-	if want("footprint") {
-		rows, err := bench.Footprint()
-		die(err)
-		fmt.Println(bench.RenderFootprint(rows))
-		ran = true
-	}
-	// The stress soak and the YCSB load harness are explicit-only (not
-	// part of -exp all): they are robustness harnesses, not paper
-	// experiments.
-	if *exp == "stress" {
-		rounds, maxOps := 2, 2500
-		if *full {
-			rounds, maxOps = 10, 8000
-		}
-		slo := bench.DefaultStressSLO()
-		if *sloFlag != "" {
-			var err error
-			slo, err = ycsb.ParseSLO(*sloFlag)
-			die(err)
-		}
-		rows := bench.Stress(*seed, rounds, maxOps)
-		fmt.Println(bench.RenderStress(rows))
-		die(bench.StressFailures(rows))
-		die(bench.CheckStressSLO(rows, slo))
-		ran = true
-	}
-	if *exp == "ycsb" {
-		mixes, err := parseMixes(*mixFlag)
-		die(err)
-		cores, err := parseCores(*coresFlag)
-		die(err)
-		opts := bench.YCSBOpts{
-			Mixes: mixes, Keys: *keysFlag, Ops: *opsFlag,
-			Cores: cores, Seed: *seed, Chaos: *chaosFlag,
-		}
-		if *locksFlag != "" {
-			opts.Locks = strings.Split(*locksFlag, ",")
-		}
-		if *full {
-			if opts.Keys == 0 {
-				opts.Keys = bench.YCSBKeysFull
-			}
-			if opts.Ops == 0 {
-				opts.Ops = bench.YCSBOpsFull
+	// The -profile plane: when the telemetry server is up its plane is
+	// already armed on every kernel through TrackNew — reuse it so the
+	// file and /profile agree. Otherwise chain a private plane onto
+	// TrackNew the same way.
+	var prof *profile.Plane
+	if *profilePath != "" {
+		if tsrv != nil {
+			prof = tsrv.Profile()
+		} else {
+			prof = profile.New(0)
+			prof.Enable()
+			old := kernel.TrackNew
+			kernel.TrackNew = func(k *kernel.Kernel) {
+				if old != nil {
+					old(k)
+				}
+				k.ArmProfile(prof)
 			}
 		}
-		if *sloFlag != "" {
-			slo, err := ycsb.ParseSLO(*sloFlag)
-			die(err)
-			opts.SLO = &slo
-		}
-		rows, err := bench.YCSBSweep(opts)
-		die(err)
-		fmt.Println(bench.RenderYCSB(rows))
-		die(bench.YCSBFailures(rows))
-		ran = true
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+
+	if *exp == "list" {
+		fmt.Print(expList())
+		return
+	}
+
+	cfg := &runCfg{
+		full: *full, seed: *seed, coresFlag: *coresFlag,
+		checkScaling: *checkScaling, mixFlag: *mixFlag,
+		opsFlag: *opsFlag, keysFlag: *keysFlag, locksFlag: *locksFlag,
+		chaosFlag: *chaosFlag, sloFlag: *sloFlag,
+	}
+	if *exp == "all" {
+		for _, e := range experiments {
+			if e.explicit {
+				continue
+			}
+			die(e.run(cfg))
+		}
+	} else {
+		e, ok := findExperiment(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n%s", *exp, expList())
+			os.Exit(2)
+		}
+		die(e.run(cfg))
 	}
 
 	if *tracePath != "" {
@@ -254,6 +473,16 @@ func main() {
 	}
 	if *metricsPath != "" {
 		die(obs.Default.WriteMetricsFile(*metricsPath))
+	}
+	if prof != nil {
+		f, err := os.Create(*profilePath)
+		die(err)
+		err = prof.Snapshot().WriteFolded(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		die(err)
+		fmt.Fprintf(os.Stderr, "profile: %d samples folded to %s\n", prof.Samples(), *profilePath)
 	}
 	if tsrv != nil {
 		fmt.Fprintf(os.Stderr, "telemetry: run complete; still serving on http://%s/ (interrupt to exit)\n", tsrv.Addr)

@@ -79,10 +79,10 @@ type ContentionRow struct {
 	// drivers are off-core client machines and excluded): global-lock wait,
 	// wait on all kernel locks (== global wait when everything is the BKL),
 	// and runnable-wait (had work, no core free).
-	BKLWaitNS   uint64
-	LockWaitNS  uint64
-	CoreWaitNS  uint64
-	BKLShare    float64 // global-lock wait / (all lock wait + core wait)
+	BKLWaitNS  uint64
+	LockWaitNS uint64
+	CoreWaitNS uint64
+	BKLShare   float64 // global-lock wait / (all lock wait + core wait)
 	// Global-lock lockstat for the run: total acquisitions and the deepest
 	// convoy the waiters-high-water window saw.
 	BKLAcquisitions uint64

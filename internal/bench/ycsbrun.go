@@ -14,6 +14,7 @@ import (
 	"ufork/internal/obs"
 	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
+	"ufork/internal/obs/profile"
 	"ufork/internal/sim"
 )
 
@@ -63,6 +64,10 @@ type YCSBOpts struct {
 	// SLO, when non-nil, replaces the built-in per-workload SLOs on every
 	// cell.
 	SLO *ycsb.SLO
+	// Profile, when non-nil, is armed on every cell's kernel, aggregating
+	// stack-attributed virtual-time samples across the whole sweep — the
+	// input to ProfDiff and the -profile bench flag.
+	Profile *profile.Plane
 }
 
 func (o YCSBOpts) withDefaults() YCSBOpts {
@@ -167,6 +172,7 @@ type ycsbCell struct {
 	seed     int64
 	chaos    bool
 	slo      ycsb.SLO
+	prof     *profile.Plane
 }
 
 // cellSeed derives a per-cell seed: every (workload, mix, locks, cores)
@@ -223,6 +229,7 @@ func YCSBSweep(opts YCSBOpts) ([]YCSBRow, error) {
 		} else {
 			c.slo = DefaultYCSBSLO(c.workload, c.chaos)
 		}
+		c.prof = o.Profile
 		var (
 			row YCSBRow
 			err error
@@ -340,6 +347,9 @@ func reapRetry(k *kernel.Kernel, p *kernel.Proc, errs *int) (kernel.PID, int, er
 func ycsbKV(c ycsbCell) (YCSBRow, error) {
 	dataPages := c.keys * (ycsbValueBytes + 256) / int(kernel.PageSize)
 	k := build(contentionSystem(c.locks), c.cores, 2*dataPages+1<<16)
+	if c.prof != nil {
+		k.ArmProfile(c.prof)
+	}
 	fr := ycsbFlight(k)
 	pl := ycsbCausal(k)
 	group := ycsbGroup(c)
@@ -512,6 +522,9 @@ func ycsbPath(i int) string { return fmt.Sprintf("/y/k%06d", i) }
 // same workers.
 func ycsbHTTPD(c ycsbCell) (YCSBRow, error) {
 	k := build(contentionSystem(c.locks), c.cores, 1<<16)
+	if c.prof != nil {
+		k.ArmProfile(c.prof)
+	}
 	fr := ycsbFlight(k)
 	pl := ycsbCausal(k)
 	group := ycsbGroup(c)

@@ -15,6 +15,7 @@ import (
 	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
+	"ufork/internal/obs/profile"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
 )
@@ -167,6 +168,13 @@ func Run(cfg Config, prog []byte) (Result, error) {
 		cpl.Enable()
 		k.ArmCausal(cpl)
 	}
+	// And the profiler: a failure dump then names the stacks the run's
+	// virtual time went to, next to where the tail latency came from.
+	if k.Profile == nil {
+		ppl := profile.New(0)
+		ppl.Enable()
+		k.ArmProfile(ppl)
+	}
 	traceGroup := cfg.TraceGroup
 	if traceGroup == "" {
 		traceGroup = fmt.Sprintf("chaos/%s/%s", cfg.Mode, cfg.Iso)
@@ -175,14 +183,18 @@ func Run(cfg Config, prog []byte) (Result, error) {
 	in := NewInjector(cfg.Seed, cfg.Plan)
 	h.in = in
 
-	// fail appends the top classified slow-op trace trees and the
-	// flight-recorder tail below the formatted failure (which always ends
-	// with the one-line repro), so every failure ships with both where the
-	// time went and the kernel event history that led up to it.
+	// fail appends the top classified slow-op trace trees, the profiler's
+	// top virtual-time stacks, and the flight-recorder tail below the
+	// formatted failure (which always ends with the one-line repro), so
+	// every failure ships with where the time went — by trace and by
+	// stack — and the kernel event history that led up to it.
 	fail := func(format string, args ...any) error {
 		msg := fmt.Sprintf(format, args...)
 		if trees := k.Causal.RenderTop(3); trees != "" {
 			msg += "\n" + trees
+		}
+		if k.Profile.Samples() > 0 {
+			msg += "\n" + k.Profile.RenderTop(5)
 		}
 		return fmt.Errorf("%s\n%s", msg, fr.TextDump(flight.DumpTail))
 	}

@@ -24,6 +24,7 @@ import (
 	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
+	"ufork/internal/obs/profile"
 	"ufork/internal/sim"
 	"ufork/internal/tmem"
 	"ufork/internal/vm"
@@ -323,6 +324,11 @@ type Kernel struct {
 	// flush per-trace critical-path segments. Armed via ArmCausal; nil in
 	// production, where every hook pays one nil check.
 	Causal *causal.Plane
+	// Profile, when non-nil, is the armed virtual-time sampling profiler
+	// (internal/obs/profile): the engine charge hook feeds it stack-
+	// attributed samples at a fixed virtual-time quantum. Armed via
+	// ArmProfile; nil in production runs.
+	Profile *profile.Plane
 	// memPhase classifies the kernel activity frames allocated right now
 	// should be attributed to (image load, eager fork copy, fault
 	// resolution, shm). Written only from the simulation goroutine.

@@ -102,6 +102,19 @@ type Proc struct {
 	// pays on the disabled path. Touched only on the simulation goroutine.
 	cspan *causal.Span
 
+	// Profiler attribution state (internal/obs/profile), maintained only
+	// while a plane is armed and touched only on the simulation
+	// goroutine. inSys marks the kernel-entry→exit window so samples get
+	// their syscall frame (sysNo alone goes stale after leave); profPhase
+	// is the current phase frame (fork:<phase> during the fork latency
+	// charge); profDepth/profBuf defer samples taken inside a
+	// fault-service window until the handler resolves the copy mode that
+	// names their phase.
+	inSys     bool
+	profPhase string
+	profDepth int
+	profBuf   []profSample
+
 	// lk is the μprocess lock — the per-process footprint every syscall
 	// acquires on fine-grained machines (rank uproc, seq = PID) — and fdlk
 	// guards the descriptor table (rank fdtable). Initialized strict by
@@ -180,6 +193,9 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 			cs.Checkpoint(fault0, p.Task.Delays())
 			cmark = cs.Mark()
 		}
+		// The profiler defers the window's samples the same way: their
+		// fault:<mode> phase frame is only known once the handler returns.
+		pmark := p.k.profFaultBegin(p)
 		p.Task.Advance(p.k.Machine.PageFault)
 		// Snapshot the faulting page's frame before the handler runs: if
 		// the resolution breaks sharing, this is the ancestor frame the
@@ -216,6 +232,7 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 		}
 		sp.End(uint64(p.Task.Now()), obs.A("va", fault.VA))
 		if err != nil {
+			p.k.profFaultEnd(p, pmark, "fault:error")
 			// Double-wrap so errors.Is sees both the segfault and the
 			// handler's cause (e.g. an injected tmem.ErrOutOfMemory).
 			return tmem.NoFrame, 0, fmt.Errorf("%w: %w", ErrSegfault, err)
@@ -250,6 +267,7 @@ func (p *Proc) translate(va uint64, acc vm.Access) (tmem.PFN, uint64, error) {
 				p.Acct.chargeFrames(1)
 			}
 		}
+		p.k.profFaultEnd(p, pmark, "fault:"+faultModeNames[mode])
 		if mode != 0 {
 			// The resolution broke sharing: the faulting page's frame is now
 			// exclusively owned by p (a fresh copy for CoW/CoPA, the adopted

@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"ufork/internal/obs/profile"
+	"ufork/internal/sim"
+)
+
+// This file is the profiler plane's only kernel coupling, mirroring
+// causal.go: ArmProfile installs the engine charge hook, and profCharge
+// assembles the synthetic sample stack — cpu / proc / syscall / phase —
+// from attribution state the kernel already maintains (curPID, the
+// in-flight syscall, fork-phase and fault-window markers). Nothing here
+// advances a virtual clock, so arming the profiler cannot change the
+// simulated timeline, and the disabled path stays one atomic load.
+
+// ArmProfile attaches a profiler plane and installs the engine charge
+// hook feeding it. Like ArmCausal — and unlike ArmMemmap — arming does
+// not reset the plane: one plane may aggregate samples across several
+// kernel boots, which is how sweep-wide profiles and cross-run diffs
+// are built. Passing nil detaches the hook.
+func (k *Kernel) ArmProfile(pl *profile.Plane) {
+	k.Profile = pl
+	if k.Eng == nil {
+		return
+	}
+	if pl == nil {
+		k.Eng.OnCharge = nil
+		return
+	}
+	k.Eng.OnCharge = k.profCharge
+}
+
+// profSample is one charge buffered while a fault window is open: the
+// copy mode — and with it the stack's phase frame — is only known after
+// the handler runs.
+type profSample struct {
+	st   profile.Stack
+	kind profile.Kind
+	cpu  int
+	d    sim.Time
+}
+
+// profProc resolves the charged task to its μprocess. Tasks that are
+// not processes (or already left the table during teardown) resolve nil
+// and are still sampled under the task's name, keeping the per-CPU
+// accounting identity exact.
+func (k *Kernel) profProc(t *sim.Task) *Proc {
+	pid := PID(t.Tag)
+	k.procMu.RLock()
+	p := k.procs[pid]
+	k.procMu.RUnlock()
+	return p
+}
+
+// profCharge is the engine charge hook: every on-core compute slot and
+// off-core latency charge of a core-occupying task arrives here when
+// the plane is armed.
+func (k *Kernel) profCharge(t *sim.Task, core int, kind sim.DelayKind, d sim.Time) {
+	pl := k.Profile
+	if !pl.On() || d == 0 {
+		return
+	}
+	var pk profile.Kind
+	switch kind {
+	case sim.DelayRun:
+		pk = profile.KindRun
+	case sim.DelayLatency:
+		pk = profile.KindLatency
+	default:
+		return
+	}
+	st := profile.Stack{CPU: int32(core), PID: t.Tag}
+	p := k.profProc(t)
+	if p == nil {
+		st.Proc = t.Name
+		pl.Add(st, pk, core, d)
+		return
+	}
+	st.Proc = p.Spec.Name
+	if p.inSys {
+		st.Sys = p.sysNo.String()
+	}
+	st.Phase = p.profPhase
+	if p.profDepth > 0 {
+		// Inside a fault-service window: park the sample until the
+		// handler resolves the copy mode that names its phase frame.
+		p.profBuf = append(p.profBuf, profSample{st: st, kind: pk, cpu: core, d: d})
+		return
+	}
+	pl.Add(st, pk, core, d)
+}
+
+// profLockWait charges w nanoseconds of lock-wait to the contended
+// site's stack. Called by lockWait, which knows both the site name and
+// the exact wait delta; lock-wait samples keep their lock:<site> phase
+// even inside a fault window — nested hooks keep their own labels, the
+// same rule the causal plane applies.
+func (k *Kernel) profLockWait(p *Proc, l *sim.VLock, w sim.Time) {
+	pl := k.Profile
+	if !pl.On() || w == 0 {
+		return
+	}
+	core := p.Task.LastCore()
+	st := profile.Stack{
+		CPU:   int32(core),
+		PID:   int32(p.PID),
+		Proc:  p.Spec.Name,
+		Phase: "lock:" + causalLockSite(l),
+	}
+	if p.inSys {
+		st.Sys = p.sysNo.String()
+	}
+	pl.Add(st, profile.KindLockWait, core, w)
+}
+
+// profFaultBegin opens a fault-service deferral window on p, returning
+// the buffer mark profFaultEnd flushes from. Windows nest (a handler
+// that faults again): each End flushes only its own window's samples.
+// Returns -1 — and costs one pointer check — when no plane is armed.
+func (k *Kernel) profFaultBegin(p *Proc) int {
+	if k.Profile == nil {
+		return -1
+	}
+	p.profDepth++
+	return len(p.profBuf)
+}
+
+// profFaultEnd closes the window opened at mark, stamping every sample
+// buffered since with the resolved phase label and flushing them to the
+// plane in charge order.
+func (k *Kernel) profFaultEnd(p *Proc, mark int, label string) {
+	if mark < 0 {
+		return
+	}
+	p.profDepth--
+	for i := mark; i < len(p.profBuf); i++ {
+		s := p.profBuf[i]
+		s.st.Phase = label
+		k.Profile.Add(s.st, s.kind, s.cpu, s.d)
+	}
+	p.profBuf = p.profBuf[:mark]
+}
+
+// forkPhase is one labeled slice of a fork's latency charge.
+type forkPhase struct {
+	label string
+	d     sim.Time
+}
+
+// phasedAdvance charges total nanoseconds of off-core latency to p as a
+// sequence of labeled per-phase Advances. Consecutive Advances are
+// arithmetically identical to one combined Advance — no scheduling
+// point sits between them — so splitting the charge cannot move the
+// simulated timeline; it only lets the profiler attribute each phase.
+// Phases are clamped to the remaining budget and any remainder is
+// charged to the fallback label, so the total advanced always equals
+// total even if an engine's phase breakdown disagrees with its latency.
+func (k *Kernel) phasedAdvance(p *Proc, total sim.Time, phases []forkPhase, fallback string) {
+	rem := total
+	for _, ph := range phases {
+		d := ph.d
+		if d > rem {
+			d = rem
+		}
+		if d == 0 {
+			continue
+		}
+		p.profPhase = ph.label
+		p.Task.Advance(d)
+		rem -= d
+	}
+	if rem > 0 {
+		p.profPhase = fallback
+		p.Task.Advance(rem)
+	}
+	p.profPhase = ""
+}
+
+// forkMemAdvance charges the memory-side fork latency (everything but
+// the kernel FD fixup) to the parent. With the profiler armed the
+// charge is split per engine phase so samples land under
+// phase:fork:<phase> stacks; unarmed it stays the historical single
+// Advance — the total is identical either way.
+func (k *Kernel) forkMemAdvance(p *Proc, stats ForkStats) {
+	total := stats.Latency - stats.FixupTime
+	if !k.Profile.On() {
+		p.Task.Advance(total)
+		return
+	}
+	k.phasedAdvance(p, total, []forkPhase{
+		{"fork:reserve", stats.ReserveTime},
+		{"fork:ptecopy", stats.PTECopyTime},
+		{"fork:eagercopy", stats.EagerCopyTime},
+		{"fork:scan", stats.ScanTime},
+		{"fork:reg", stats.RegTime},
+	}, "fork:other")
+}
+
+// forkFixupAdvance charges the kernel-side FD duplication + fixed fork
+// cost, labeled fork:fixup when the profiler is armed.
+func (k *Kernel) forkFixupAdvance(p *Proc, stats ForkStats) {
+	if !k.Profile.On() {
+		p.Task.Advance(stats.FixupTime)
+		return
+	}
+	k.phasedAdvance(p, stats.FixupTime,
+		[]forkPhase{{"fork:fixup", stats.FixupTime}}, "fork:fixup")
+}

@@ -23,6 +23,7 @@ func (k *Kernel) enter(p *Proc, no SysNo, bufBytes int) {
 	p.Acct.Syscalls[no].Inc()
 	p.sysNo = no
 	p.sysEnter = t.Now()
+	p.inSys = true
 	k.curPID = p.PID
 	if k.Flight.On() {
 		k.Flight.Emit(uint64(t.Now()), int32(p.PID), flight.KindSyscall, uint64(no), 0, 0)
@@ -96,6 +97,7 @@ func (k *Kernel) lockWait(p *Proc, l *sim.VLock) {
 		// before another lock's wait can blur into the same bucket.
 		s.CheckpointAs(sim.DelayLockWait, "lock:"+causalLockSite(l), t.Now(), t.Delays())
 	}
+	k.profLockWait(p, l, w)
 }
 
 // chargeSwitch bills one scheduler context switch to p: register state,
@@ -139,6 +141,7 @@ func (k *Kernel) leave(p *Proc) {
 			k.Obs.Reg.Histogram("syscall.latency").Observe(uint64(p.Task.Now() - p.sysEnter))
 		}
 	}
+	p.inSys = false
 }
 
 // Getpid returns the caller's process ID.
@@ -318,13 +321,14 @@ func (k *Kernel) Fork(p *Proc, childEntry func(*Proc)) (PID, error) {
 	// subsystem actually serializes. The total advanced is identical.
 	if fg {
 		k.lockWait(p, &k.locks.tmem)
-		p.Task.Advance(stats.Latency - stats.FixupTime)
+		k.forkMemAdvance(p, stats)
 		k.locks.tmem.Unlock(p.Task)
 		k.lockWait(p, &p.fdlk)
-		p.Task.Advance(stats.FixupTime)
+		k.forkFixupAdvance(p, stats)
 		p.fdlk.Unlock(p.Task)
 	} else {
-		p.Task.Advance(stats.Latency)
+		k.forkMemAdvance(p, stats)
+		k.forkFixupAdvance(p, stats)
 	}
 	p.LastFork = stats
 	k.startProc(child, p.Task.Now(), childEntry)

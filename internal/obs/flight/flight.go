@@ -321,4 +321,3 @@ func (r *Recorder) Tail(n int) []Event {
 	}
 	return evs
 }
-

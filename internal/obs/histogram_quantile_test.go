@@ -1,0 +1,121 @@
+package obs
+
+import "testing"
+
+// The quantile edges the latency gates lean on: p99.9 over sparse
+// populations, single-bucket histograms, the empty histogram, and values
+// landing exactly on (or beyond) bucket bounds. The SLO plane compares
+// these numbers against hard ceilings, so the edge semantics — nearest
+// rank, clamped to the observed [min, max] — are load-bearing.
+
+// TestPercentileEmpty: every quantile of an empty histogram is 0, never
+// a bucket bound or stale min sentinel.
+func TestPercentileEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.Percentile(q); got != 0 {
+			t.Errorf("empty Percentile(%v) = %d, want 0", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P999 != 0 {
+		t.Errorf("empty Summary = %+v, want all zero", s)
+	}
+}
+
+// TestPercentileSingleBucket: when every observation is the same value,
+// every quantile is that value — the bucket's upper bound must clamp
+// down to the observed max, and q<=0 must clamp up to the observed min.
+func TestPercentileSingleBucket(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 7; i++ {
+		h.Observe(150) // interior of the (100, 200] bucket
+	}
+	for _, q := range []float64{-1, 0, 0.001, 0.5, 0.99, 0.999, 1} {
+		if got := h.Percentile(q); got != 150 {
+			t.Errorf("single-value Percentile(%v) = %d, want 150", q, got)
+		}
+	}
+}
+
+// TestPercentileSparseTail: nearest-rank p99.9 over a population far
+// smaller than 1000 selects the maximum — rank ⌈0.999·n⌉ = n — so a
+// single outlier must dominate the reported tail, not be averaged away.
+func TestPercentileSparseTail(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 9; i++ {
+		h.Observe(100)
+	}
+	h.Observe(1_000_000) // the one outlier
+	if got := h.Percentile(0.999); got != 1_000_000 {
+		t.Errorf("sparse p99.9 = %d, want the outlier 1000000", got)
+	}
+	if got := h.Percentile(0.90); got != 100 {
+		t.Errorf("sparse p90 = %d, want 100", got)
+	}
+	// Rank arithmetic at the step: 10 observations, q=0.9 → rank 9 (the
+	// last 100), q=0.901 → rank 10 (the outlier).
+	if got := h.Percentile(0.901); got != 1_000_000 {
+		t.Errorf("p90.1 = %d, want the outlier 1000000", got)
+	}
+}
+
+// TestPercentileBucketBoundary: observations exactly on an inclusive
+// upper bound stay in that bucket, and the reported quantile is exact;
+// one observation just past the bound moves to the next bucket, whose
+// reported bound clamps to the observed max.
+func TestPercentileBucketBoundary(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 4; i++ {
+		h.Observe(200) // exactly the (100, 200] upper bound
+	}
+	if got := h.Percentile(0.5); got != 200 {
+		t.Errorf("on-bound p50 = %d, want exactly 200", got)
+	}
+	h.Observe(201) // first value of the (200, 500] bucket
+	if got := h.Percentile(1); got != 201 {
+		t.Errorf("p100 = %d, want bucket bound 500 clamped to max 201", got)
+	}
+	if got := h.Percentile(0.5); got != 200 {
+		t.Errorf("p50 after boundary straddle = %d, want 200", got)
+	}
+}
+
+// TestPercentileOverflowBucket: values beyond the last bound land in the
+// implicit overflow bucket, whose quantile reads back as the observed
+// max instead of an invented +Inf bound.
+func TestPercentileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20})
+	h.Observe(5)
+	h.Observe(12345) // overflow
+	h.Observe(99999) // overflow, max
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{
+		{0.33, 10}, // rank 1: the ≤10 bucket's bound
+		// Ranks 2 and 3 both land in the overflow bucket, whose only
+		// honest answer is the observed max — never an invented bound.
+		{0.5, 99999},
+		{0.999, 99999},
+		{1, 99999},
+	} {
+		if got := h.Percentile(tc.q); got != tc.want {
+			t.Errorf("overflow Percentile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestPercentileMinClamp: a bucket's upper bound can overshoot every
+// observation in it; the quantile must clamp into [min, max].
+func TestPercentileMinClamp(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(101) // (100, 200] bucket: bound 200 overshoots
+	h.Observe(102)
+	if got := h.Percentile(0.5); got != 102 {
+		t.Errorf("overshoot p50 = %d, want clamp to max 102", got)
+	}
+	if got := h.Percentile(0); got != 101 {
+		t.Errorf("q=0 = %d, want min 101", got)
+	}
+}

@@ -1,0 +1,129 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFolded emits the profile as folded-stack text — one line per
+// stack, `frame;frame;... <weight>`, weight in virtual nanoseconds —
+// the input format of flamegraph.pl and speedscope. Lines are sorted by
+// stack key, so identical runs produce byte-identical output.
+func (s Snapshot) WriteFolded(w io.Writer) error {
+	for _, sc := range s.Stacks {
+		if _, err := fmt.Fprintf(w, "%s %d\n", sc.Stack.Key(), sc.Samples*uint64(s.Quantum)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Folded renders WriteFolded to a string.
+func (s Snapshot) Folded() string {
+	var b strings.Builder
+	s.WriteFolded(&b)
+	return b.String()
+}
+
+// Folded renders the plane's current samples as folded-stack text.
+func (pl *Plane) Folded() string { return pl.Snapshot().Folded() }
+
+// RenderTop renders the n hottest stacks as a text table with absolute
+// virtual time and share of all samples. n <= 0 means all stacks.
+func (s Snapshot) RenderTop(n int) string {
+	stacks := make([]StackCount, len(s.Stacks))
+	copy(stacks, s.Stacks)
+	sort.Slice(stacks, func(i, j int) bool {
+		if stacks[i].Samples != stacks[j].Samples {
+			return stacks[i].Samples > stacks[j].Samples
+		}
+		return stacks[i].Stack.Key() < stacks[j].Stack.Key()
+	})
+	if n > 0 && len(stacks) > n {
+		stacks = stacks[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "top virtual-time stacks (%d samples × %v quantum)\n", s.Samples, s.Quantum)
+	if s.Samples == 0 {
+		b.WriteString("  (no samples)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %7s  %14s  %s\n", "share", "time", "stack")
+	for _, sc := range stacks {
+		ns := sc.Samples * uint64(s.Quantum)
+		share := 100 * float64(sc.Samples) / float64(s.Samples)
+		fmt.Fprintf(&b, "  %6.2f%%  %14d  %s\n", share, ns, sc.Stack.Key())
+	}
+	return b.String()
+}
+
+// RenderTop renders the plane's n hottest stacks.
+func (pl *Plane) RenderTop(n int) string { return pl.Snapshot().RenderTop(n) }
+
+// StackDelta is one signed per-stack difference between two profiles.
+type StackDelta struct {
+	Stack    Stack
+	BeforeNS uint64
+	AfterNS  uint64
+	DeltaNS  int64 // AfterNS - BeforeNS
+}
+
+// Diff subtracts profile before from profile after, returning the signed
+// virtual-time delta for every stack present in either, sorted by
+// absolute delta descending (ties by stack key). Quanta may differ; the
+// comparison is in nanoseconds.
+func Diff(before, after Snapshot) []StackDelta {
+	merged := make(map[Stack]*StackDelta)
+	for _, sc := range before.Stacks {
+		merged[sc.Stack] = &StackDelta{Stack: sc.Stack, BeforeNS: sc.Samples * uint64(before.Quantum)}
+	}
+	for _, sc := range after.Stacks {
+		d := merged[sc.Stack]
+		if d == nil {
+			d = &StackDelta{Stack: sc.Stack}
+			merged[sc.Stack] = d
+		}
+		d.AfterNS = sc.Samples * uint64(after.Quantum)
+	}
+	out := make([]StackDelta, 0, len(merged))
+	for _, d := range merged {
+		d.DeltaNS = int64(d.AfterNS) - int64(d.BeforeNS)
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs64(out[i].DeltaNS), abs64(out[j].DeltaNS)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Stack.Key() < out[j].Stack.Key()
+	})
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RenderDiff renders the n largest signed stack deltas as a text table.
+// n <= 0 means all.
+func RenderDiff(deltas []StackDelta, n int, beforeLabel, afterLabel string) string {
+	if n > 0 && len(deltas) > n {
+		deltas = deltas[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile diff: %s → %s (virtual ns per stack)\n", beforeLabel, afterLabel)
+	if len(deltas) == 0 {
+		b.WriteString("  (no differing stacks)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %14s  %14s  %14s  %s\n", "delta", beforeLabel, afterLabel, "stack")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "  %+14d  %14d  %14d  %s\n", d.DeltaNS, d.BeforeNS, d.AfterNS, d.Stack.Key())
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"sort"
+)
+
+// WritePprof emits the profile as a gzip-compressed pprof profile.proto
+// blob parseable by `go tool pprof`. The encoding is hand-rolled
+// protobuf wire format (the schema is small and stable), so no
+// third-party dependency is needed. Two sample values are emitted per
+// stack: tick count and virtual nanoseconds. Output is deterministic:
+// the string table, functions, locations, and samples are derived from
+// the sorted snapshot and time_nanos is fixed at zero.
+func (s Snapshot) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(s.pprofBytes()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// WritePprof emits the plane's current samples; see Snapshot.WritePprof.
+func (pl *Plane) WritePprof(w io.Writer) error { return pl.Snapshot().WritePprof(w) }
+
+// pprof profile.proto field numbers (github.com/google/pprof).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profPeriodType  = 11
+	profPeriod      = 12
+
+	vtType = 1 // ValueType.type
+	vtUnit = 2 // ValueType.unit
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	locationID   = 1
+	locationLine = 4
+
+	lineFunctionID = 1
+
+	functionID   = 1
+	functionName = 2
+)
+
+func (s Snapshot) pprofBytes() []byte {
+	// Intern every unique frame string; ids are 1-based in sorted order
+	// so the output is independent of map iteration.
+	frameSet := make(map[string]bool)
+	for _, sc := range s.Stacks {
+		for _, f := range sc.Stack.Frames() {
+			frameSet[f] = true
+		}
+	}
+	frames := make([]string, 0, len(frameSet))
+	for f := range frameSet {
+		frames = append(frames, f)
+	}
+	sort.Strings(frames)
+	frameID := make(map[string]uint64, len(frames))
+	for i, f := range frames {
+		frameID[f] = uint64(i + 1)
+	}
+
+	strs := newStringTable()
+	var out pbuf
+
+	// sample_type: (samples, count) and (virtualtime, nanoseconds).
+	out.message(profSampleType, valueType(strs, "samples", "count"))
+	out.message(profSampleType, valueType(strs, "virtualtime", "nanoseconds"))
+
+	// samples: location ids leaf-first, values [ticks, ns].
+	for _, sc := range s.Stacks {
+		fs := sc.Stack.Frames()
+		var sm pbuf
+		var locs pbuf
+		for i := len(fs) - 1; i >= 0; i-- { // leaf first
+			locs.varint(frameID[fs[i]])
+		}
+		sm.bytes(sampleLocationID, locs.b) // packed uint64
+		var vals pbuf
+		vals.varint(sc.Samples)
+		vals.varint(sc.Samples * uint64(s.Quantum))
+		sm.bytes(sampleValue, vals.b) // packed int64
+		out.bytes(profSample, sm.b)
+	}
+
+	// locations and functions: one of each per unique frame, id == frame id.
+	for i, f := range frames {
+		id := uint64(i + 1)
+		var line pbuf
+		line.uvarint(lineFunctionID, id)
+		var loc pbuf
+		loc.uvarint(locationID, id)
+		loc.bytes(locationLine, line.b)
+		out.bytes(profLocation, loc.b)
+
+		var fn pbuf
+		fn.uvarint(functionID, id)
+		fn.uvarint(functionName, strs.id(f))
+		out.bytes(profFunction, fn.b)
+	}
+
+	out.message(profPeriodType, valueType(strs, "virtualtime", "nanoseconds"))
+	out.uvarint(profPeriod, uint64(s.Quantum))
+
+	// The string table is emitted last so interning above can keep
+	// growing it; protobuf field order is free, decoders do not care.
+	for _, str := range strs.list {
+		out.str(profStringTable, str)
+	}
+	return out.b
+}
+
+func valueType(strs *stringTable, typ, unit string) []byte {
+	var b pbuf
+	b.uvarint(vtType, strs.id(typ))
+	b.uvarint(vtUnit, strs.id(unit))
+	return b.b
+}
+
+// stringTable interns strings with index 0 reserved for "".
+type stringTable struct {
+	list []string
+	idx  map[string]uint64
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{list: []string{""}, idx: map[string]uint64{"": 0}}
+}
+
+func (s *stringTable) id(str string) uint64 {
+	if id, ok := s.idx[str]; ok {
+		return id
+	}
+	id := uint64(len(s.list))
+	s.list = append(s.list, str)
+	s.idx[str] = id
+	return id
+}
+
+// pbuf is a minimal protobuf wire-format encoder.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) key(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uvarint emits a varint-typed field, omitted when zero (proto3 default).
+func (p *pbuf) uvarint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, 0)
+	p.varint(v)
+}
+
+// bytes emits a length-delimited field (submessage or packed scalars).
+func (p *pbuf) bytes(field int, b []byte) {
+	p.key(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// message emits a submessage even when empty.
+func (p *pbuf) message(field int, b []byte) { p.bytes(field, b) }
+
+func (p *pbuf) str(field int, s string) {
+	p.key(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package profile
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// bounds are meaningless under its instrumentation.
+const raceEnabled = true

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// TestOnChargeHook: the charge hook sees every Work/Book/Advance
+// interval of core-occupying tasks with the same busy values the
+// scheduler stats record, and never sees Offcore tasks.
+func TestOnChargeHook(t *testing.T) {
+	e := NewEngine(2)
+	e.ArmSched(NewSchedStats(2))
+	type charge struct {
+		name string
+		core int
+		kind DelayKind
+		d    Time
+	}
+	var got []charge
+	e.OnCharge = func(task *Task, core int, kind DelayKind, d Time) {
+		got = append(got, charge{task.Name, core, kind, d})
+	}
+	e.Go("a", 0, func(task *Task) {
+		task.Work(100)
+		task.Book(50)
+		task.Advance(30)
+	})
+	e.Go("ext", 0, func(task *Task) {
+		task.Offcore = true
+		task.Work(10)
+		task.Advance(10)
+	})
+	e.Run()
+
+	perKind := map[DelayKind]Time{}
+	for _, c := range got {
+		if c.name == "ext" {
+			t.Fatalf("OnCharge saw Offcore task: %+v", c)
+		}
+		perKind[c.kind] += c.d
+	}
+	if perKind[DelayRun] != 150 || perKind[DelayLatency] != 30 {
+		t.Fatalf("charged run=%d latency=%d, want 150/30", perKind[DelayRun], perKind[DelayLatency])
+	}
+
+	// The hook's run charges must equal the scheduler's recorded busy
+	// time per core — same values, independent accumulators.
+	var hookBusy [2]Time
+	for _, c := range got {
+		if c.kind == DelayRun {
+			hookBusy[c.core] += c.d
+		}
+	}
+	snap := e.Sched().Snapshot()
+	for core, pc := range snap.PerCore {
+		if Time(pc.BusyNS) != hookBusy[core] {
+			t.Fatalf("core %d: sched busy %d != hook busy %d", core, pc.BusyNS, hookBusy[core])
+		}
+	}
+}

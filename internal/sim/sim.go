@@ -155,6 +155,17 @@ type Engine struct {
 	// goroutine with the granted task and its queueing delay; it must not
 	// touch task clocks. Only consulted when sched is armed.
 	OnDispatch func(t *Task, wait Time)
+
+	// OnCharge, when non-nil, observes every charged interval of a
+	// core-occupying task: on-core compute from Work/Book (DelayRun, with
+	// the same busy value the scheduler stats record) and off-core
+	// latency from Advance (DelayLatency, attributed to the task's last
+	// core). Offcore tasks are skipped — they model external agents and
+	// never occupy a simulated CPU. Called on the simulation goroutine
+	// after the task's clock has advanced; it must not touch task clocks,
+	// so installing it cannot change the simulated timeline. Unarmed
+	// engines pay one nil check per charge.
+	OnCharge func(t *Task, core int, kind DelayKind, d Time)
 }
 
 // NewEngine creates an engine with the given number of CPU cores.
@@ -262,6 +273,9 @@ func (t *Task) Now() Time { return t.now }
 func (t *Task) Advance(d Time) {
 	t.addDelay(DelayLatency, d)
 	t.now += d
+	if h := t.eng.OnCharge; h != nil && !t.Offcore && d > 0 {
+		h(t, t.lastCore, DelayLatency, d)
+	}
 }
 
 // AdvanceTo moves the clock forward to at least abs. Only Unpark calls it,
@@ -310,6 +324,9 @@ func (t *Task) Work(d Time) {
 	t.addDelay(DelayRun, end-ready-wait)
 	t.noteDispatch(core, wait, end-ready-wait)
 	t.now = end
+	if h := t.eng.OnCharge; h != nil {
+		h(t, core, DelayRun, end-ready-wait)
+	}
 }
 
 // Book reserves d nanoseconds of CPU on the earliest-free core without the
@@ -333,6 +350,9 @@ func (t *Task) Book(d Time) {
 	t.addDelay(DelayRun, d)
 	t.noteDispatch(core, wait, d)
 	t.now = end
+	if h := t.eng.OnCharge; h != nil {
+		h(t, core, DelayRun, d)
+	}
 }
 
 // noteDispatch feeds one granted core slot to the armed scheduler stats

@@ -21,17 +21,17 @@ func Lint(r io.Reader) []error {
 		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
 	}
 
-	types := map[string]string{}  // family → declared type
-	done := map[string]bool{}     // family → a later family started (grouping check)
-	var current string            // family currently being emitted
-	buckets := map[string][]le{}  // histogram family|labelset → buckets in emission order
+	types := map[string]string{}    // family → declared type
+	done := map[string]bool{}       // family → a later family started (grouping check)
+	var current string              // family currently being emitted
+	buckets := map[string][]le{}    // histogram family|labelset → buckets in emission order
 	groups := map[string][]string{} // histogram family → label-set keys in first-seen order
-	sums := map[string]bool{}     // histogram family|labelset → _sum seen
-	counts := map[string]float64{} // histogram family|labelset → _count value
-	haveCount := map[string]bool{} // histogram family|labelset → _count seen
-	samples := map[string]int{}   // family → sample count
-	seen := map[string]struct{}{} // duplicate series guard
-	order := []string{}           // family order for final checks
+	sums := map[string]bool{}       // histogram family|labelset → _sum seen
+	counts := map[string]float64{}  // histogram family|labelset → _count value
+	haveCount := map[string]bool{}  // histogram family|labelset → _count seen
+	samples := map[string]int{}     // family → sample count
+	seen := map[string]struct{}{}   // duplicate series guard
+	order := []string{}             // family order for final checks
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

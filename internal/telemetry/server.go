@@ -20,6 +20,7 @@ import (
 	"ufork/internal/obs/causal"
 	"ufork/internal/obs/flight"
 	"ufork/internal/obs/memmap"
+	"ufork/internal/obs/profile"
 	"ufork/internal/sim"
 )
 
@@ -31,6 +32,7 @@ type Server struct {
 	fr     *flight.Recorder
 	pl     *memmap.Plane
 	causal *causal.Plane
+	prof   *profile.Plane
 	locks  *sim.LockTable
 	cur    atomic.Pointer[kernel.Kernel]
 	ln     net.Listener
@@ -51,10 +53,11 @@ func New(o *obs.Obs, fr *flight.Recorder) *Server {
 	}
 	pl := memmap.New()
 	pl.Enable()
-	// The causal plane starts disabled — Start enables it when the live
-	// telemetry plane is armed, so embedded/test servers keep a genuine
-	// "not armed" /traces state.
-	return &Server{obs: o, fr: fr, pl: pl, causal: causal.New(0), locks: sim.NewLockTable()}
+	// The causal and profiler planes start disabled — Start enables them
+	// when the live telemetry plane is armed, so embedded/test servers
+	// keep a genuine "not armed" /traces and /profile state.
+	return &Server{obs: o, fr: fr, pl: pl, causal: causal.New(0),
+		prof: profile.New(0), locks: sim.NewLockTable()}
 }
 
 // Track makes k the kernel /procs and per-proc /metrics families reflect,
@@ -72,8 +75,14 @@ func (s *Server) Track(k *kernel.Kernel) {
 	}
 	if k != nil {
 		k.ArmCausal(s.causal)
+		k.ArmProfile(s.prof)
 	}
 }
+
+// Profile returns the server's profiler plane. The bench -profile flag
+// writes its folded dump from here when the live plane is serving, so a
+// single plane feeds both the output file and /profile.
+func (s *Server) Profile() *profile.Plane { return s.prof }
 
 func (s *Server) procs() []kernel.ProcStat {
 	if k := s.cur.Load(); k != nil {
@@ -94,6 +103,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/sched", s.handleSched)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -116,6 +127,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /sched          scheduler telemetry: run-queue depth, dispatch latency, core utilization, JSON
   /flight         flight-recorder tail (?n=64, ?format=text|chrome)
   /traces         causal-trace exemplars: K slowest traces per group with critical-path segments (?k=N, ?format=json|chrome)
+  /profile        virtual-time sampling profile, stack-attributed (?format=folded|pprof|top, ?n=20)
+  /healthz        plane arming status, JSON (which planes are armed, whether a kernel is tracked)
   /debug/pprof/   host-process profiling
 `)
 }
@@ -275,6 +288,70 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleProfile serves the virtual-time sampling profile: folded-stack
+// text (default; flamegraph.pl input), a gzip pprof profile.proto blob
+// (?format=pprof; `go tool pprof`-parseable), or a top-N table
+// (?format=top&n=20).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	// Like /flight and /traces: a plane that was never armed and holds
+	// no samples is a clean client-visible condition, not a
+	// healthy-but-idle empty 200.
+	if !s.prof.On() && s.prof.Samples() == 0 {
+		http.Error(w, "profiler not armed", http.StatusConflict)
+		return
+	}
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	snap := s.prof.Snapshot()
+	switch r.URL.Query().Get("format") {
+	case "", "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteFolded(w)
+	case "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="profile.pb.gz"`)
+		_ = snap.WritePprof(w)
+	case "top":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.RenderTop(n))
+	default:
+		http.Error(w, "bad format", http.StatusBadRequest)
+	}
+}
+
+// healthz is the /healthz document: which observability planes are
+// armed and whether a kernel is tracked. CI smoke jobs poll it instead
+// of sleeping a fixed interval before the first scrape.
+type healthz struct {
+	Tracked bool            `json:"tracked"`
+	Planes  map[string]bool `json:"planes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	k := s.cur.Load()
+	h := healthz{
+		Tracked: k != nil,
+		Planes: map[string]bool{
+			"flight":   s.fr.On(),
+			"memmap":   s.pl.On(),
+			"lockstat": k != nil && k.Locks != nil,
+			"causal":   s.causal.On(),
+			"profile":  s.prof.On(),
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
+
 // Start arms the live telemetry plane on addr: enables the obs layer and
 // the default flight recorder, installs kernel tracking, binds the
 // listener (failing fast on a bad address), and serves in the background
@@ -284,6 +361,7 @@ func Start(addr string) (*Server, error) {
 	flight.Default.Enable()
 	s := New(obs.Default, flight.Default)
 	s.causal.Enable()
+	s.prof.Enable()
 	kernel.TrackNew = s.Track
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

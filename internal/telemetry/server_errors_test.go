@@ -31,6 +31,8 @@ func TestHandlerErrorPaths(t *testing.T) {
 		{"/nonsense", http.StatusNotFound, "not found"},
 		{"/locks/extra", http.StatusNotFound, "not found"},
 		{"/traces", http.StatusConflict, "not armed"},
+		{"/profile", http.StatusConflict, "not armed"},
+		{"/healthz", http.StatusOK, `"planes"`},
 		{"/metrics", http.StatusOK, "ufork_"},
 		{"/locks", http.StatusOK, "["},
 		{"/sched", http.StatusOK, "cores"},
